@@ -1,0 +1,328 @@
+// Benchmarks regenerating experiment E7 (DESIGN.md): the native-mode cost of
+// strong linearizability. Each benchmark corresponds to one row family of
+// the E7 tables in EXPERIMENTS.md.
+//
+// Run with: go test -bench=. -benchmem
+package slmem
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"slmem/internal/aba"
+	"slmem/internal/core"
+	"slmem/internal/maxreg"
+	"slmem/internal/memory"
+	"slmem/internal/snapshot"
+	"slmem/internal/spec"
+	"slmem/internal/universal"
+	"slmem/internal/versioned"
+)
+
+// pidPool hands out distinct process ids to parallel benchmark goroutines.
+type pidPool struct {
+	next atomic.Int64
+	n    int
+}
+
+func (p *pidPool) get() int {
+	id := int(p.next.Add(1)) - 1
+	if id >= p.n {
+		panic(fmt.Sprintf("bench: more parallel goroutines (%d) than processes (%d); run with -cpu <= %d",
+			id+1, p.n, p.n))
+	}
+	return id
+}
+
+// benchN sizes objects so that RunParallel's GOMAXPROCS goroutines each get
+// a distinct process id.
+func benchN() int {
+	if g := runtime.GOMAXPROCS(0); g > 8 {
+		return g
+	}
+	return 8
+}
+
+// --- E7a: ABA-detecting registers — Algorithm 1 vs Algorithm 2 ----------------
+
+func BenchmarkABA(b *testing.B) {
+	n := benchN()
+	impls := []struct {
+		name string
+		make func(alloc memory.Allocator) interface {
+			DWrite(p int, x uint64)
+			DRead(q int) (uint64, bool)
+		}
+	}{
+		{"algorithm1-linearizable", func(alloc memory.Allocator) interface {
+			DWrite(p int, x uint64)
+			DRead(q int) (uint64, bool)
+		} {
+			return aba.NewLinearizable[uint64](alloc, n, 0)
+		}},
+		{"algorithm2-strong", func(alloc memory.Allocator) interface {
+			DWrite(p int, x uint64)
+			DRead(q int) (uint64, bool)
+		} {
+			return aba.NewStrong[uint64](alloc, n, 0)
+		}},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name+"/DWrite", func(b *testing.B) {
+			var alloc memory.NativeAllocator
+			reg := impl.make(&alloc)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reg.DWrite(0, uint64(i))
+			}
+		})
+		b.Run(impl.name+"/DRead-quiet", func(b *testing.B) {
+			var alloc memory.NativeAllocator
+			reg := impl.make(&alloc)
+			reg.DWrite(0, 7)
+			reg.DRead(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reg.DRead(1)
+			}
+		})
+		b.Run(impl.name+"/mixed-parallel", func(b *testing.B) {
+			var alloc memory.NativeAllocator
+			reg := impl.make(&alloc)
+			pool := &pidPool{n: n}
+			b.RunParallel(func(pb *testing.PB) {
+				pid := pool.get()
+				i := uint64(0)
+				for pb.Next() {
+					i++
+					if pid%2 == 0 {
+						reg.DRead(pid)
+					} else {
+						reg.DWrite(pid, i)
+					}
+				}
+			})
+		})
+	}
+}
+
+// --- E7b: snapshots — strongly linearizable vs linearizable baselines ---------
+
+type benchSnapshot interface {
+	Update(pid int, x uint64)
+	Scan(pid int) []uint64
+}
+
+func snapshotImpls(n int) map[string]func() benchSnapshot {
+	return map[string]func() benchSnapshot{
+		"doublecollect-linearizable": func() benchSnapshot {
+			var alloc memory.NativeAllocator
+			return snapshot.NewDoubleCollect[uint64](&alloc, n, 0)
+		},
+		"afek-waitfree-linearizable": func() benchSnapshot {
+			var alloc memory.NativeAllocator
+			return snapshot.NewAfek[uint64](&alloc, n, 0)
+		},
+		"handshake-bounded-linearizable": func() benchSnapshot {
+			var alloc memory.NativeAllocator
+			return snapshot.NewHandshake[uint64](&alloc, n, 0)
+		},
+		"algorithm3-strong": func() benchSnapshot {
+			var alloc memory.NativeAllocator
+			return core.New[uint64](&alloc, n, 0)
+		},
+		"versioned-strong-unbounded": func() benchSnapshot {
+			var alloc memory.NativeAllocator
+			return versioned.New[uint64](&alloc, n, 0)
+		},
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	n := benchN()
+	names := []string{
+		"doublecollect-linearizable",
+		"afek-waitfree-linearizable",
+		"handshake-bounded-linearizable",
+		"algorithm3-strong",
+		"versioned-strong-unbounded",
+	}
+	impls := snapshotImpls(n)
+	for _, name := range names {
+		mk := impls[name]
+		b.Run(name+"/Update-solo", func(b *testing.B) {
+			s := mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(0, uint64(i))
+			}
+		})
+		b.Run(name+"/Scan-solo", func(b *testing.B) {
+			s := mk()
+			for pid := 0; pid < n; pid++ {
+				s.Update(pid, uint64(pid))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Scan(0)
+			}
+		})
+		b.Run(name+"/mixed-parallel", func(b *testing.B) {
+			s := mk()
+			pool := &pidPool{n: n}
+			b.RunParallel(func(pb *testing.PB) {
+				pid := pool.get()
+				i := uint64(0)
+				for pb.Next() {
+					i++
+					if pid%2 == 0 {
+						s.Scan(pid)
+					} else {
+						s.Update(pid, i)
+					}
+				}
+			})
+		})
+	}
+}
+
+// --- E7c: derived types --------------------------------------------------------
+
+func BenchmarkCounter(b *testing.B) {
+	n := benchN()
+	b.Run("inc-solo", func(b *testing.B) {
+		c := NewCounter(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc(0)
+		}
+	})
+	b.Run("read-solo", func(b *testing.B) {
+		c := NewCounter(n)
+		c.Inc(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Read(0)
+		}
+	})
+	b.Run("mixed-parallel", func(b *testing.B) {
+		c := NewCounter(n)
+		pool := &pidPool{n: n}
+		b.RunParallel(func(pb *testing.PB) {
+			pid := pool.get()
+			for pb.Next() {
+				if pid%2 == 0 {
+					c.Read(pid)
+				} else {
+					c.Inc(pid)
+				}
+			}
+		})
+	})
+}
+
+func BenchmarkMaxRegister(b *testing.B) {
+	b.Run("trie-maxWrite-increasing", func(b *testing.B) {
+		var alloc memory.NativeAllocator
+		m := maxreg.NewUnbounded[struct{}](&alloc, struct{}{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.MaxWrite(0, uint64(i), struct{}{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trie-maxRead", func(b *testing.B) {
+		var alloc memory.NativeAllocator
+		m := maxreg.NewUnbounded[struct{}](&alloc, struct{}{})
+		_ = m.MaxWrite(0, 1<<40, struct{}{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.MaxRead(0)
+		}
+	})
+	b.Run("snapshot-derived-maxWrite", func(b *testing.B) {
+		m := NewMaxRegister(8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.MaxWrite(0, uint64(i))
+		}
+	})
+	b.Run("snapshot-derived-maxRead", func(b *testing.B) {
+		m := NewMaxRegister(8)
+		m.MaxWrite(0, 99)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.MaxRead(0)
+		}
+	})
+}
+
+// --- E7d / E6: universal construction cost growth -------------------------------
+
+func BenchmarkUniversalHistoryGrowth(b *testing.B) {
+	// The object is re-created every 32 measured operations so each subrun
+	// reflects a pinned history size (the construction's per-op cost grows
+	// with history, which is exactly the claim — see EXPERIMENTS.md E6).
+	const burst = 32
+	grow := func(b *testing.B, history int) *universal.Object {
+		var alloc memory.NativeAllocator
+		o := universal.New(&alloc, universal.CounterType{}, 2)
+		for i := 0; i < history; i++ {
+			if _, err := o.Execute(i%2, "inc()"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return o
+	}
+	for _, history := range []int{0, 64, 256} {
+		history := history
+		b.Run("counter-inc/history-"+strconv.Itoa(history), func(b *testing.B) {
+			o := grow(b, history)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%burst == burst-1 {
+					b.StopTimer()
+					o = grow(b, history)
+					b.StartTimer()
+				}
+				if _, err := o.Execute(0, "inc()"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E5 companion: space growth as a benchmark metric ---------------------------
+
+func BenchmarkVersionedSpaceGrowth(b *testing.B) {
+	var alloc memory.NativeAllocator
+	s := versioned.New[string](&alloc, 4, spec.Bot)
+	base := alloc.Registers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(i%4, "x")
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(alloc.Registers()-base)/float64(b.N), "registers/op")
+	}
+}
+
+func BenchmarkAlgorithm3SpaceConstant(b *testing.B) {
+	var alloc memory.NativeAllocator
+	s := core.New[string](&alloc, 4, spec.Bot)
+	base := alloc.Registers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(i%4, "x")
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(alloc.Registers()-base)/float64(b.N), "registers/op")
+	}
+}

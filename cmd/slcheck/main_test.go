@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestObs4Scenario(t *testing.T) {
+	// Succeeds precisely when the Observation 4 violation is reproduced.
+	if err := run([]string{"-scenario", "obs4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExploreScenarioAlg1(t *testing.T) {
+	if err := run([]string{"-scenario", "explore", "-impl", "alg1", "-writes", "1", "-reads", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExploreScenarioAlg2(t *testing.T) {
+	if err := run([]string{"-scenario", "explore", "-impl", "alg2", "-writes", "1", "-reads", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "random", "-impl", "alg2", "-trees", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestExploreNodeBudgetError(t *testing.T) {
+	if err := run([]string{"-scenario", "explore", "-maxnodes", "3"}); err == nil {
+		t.Fatal("tiny node budget should error")
+	}
+}
+
+func TestHuntScenarioAlg1(t *testing.T) {
+	if err := run([]string{"-scenario", "hunt", "-impl", "alg1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuntScenarioAlg2(t *testing.T) {
+	if err := run([]string{"-scenario", "hunt", "-impl", "alg2"}); err != nil {
+		t.Fatal(err)
+	}
+}

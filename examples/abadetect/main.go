@@ -1,0 +1,54 @@
+// ABA detection: why compare-by-value is not enough.
+//
+// A classic lock-free pattern reads a location, computes, and commits only
+// if the location still holds the read value. If the value changed A -> B
+// -> A in between, the comparison passes even though the world moved — the
+// ABA problem. An ABA-detecting register (paper Section 3) closes the gap:
+// DRead additionally reports whether ANY write happened since this
+// process's previous DRead.
+//
+// Run with: go run ./examples/abadetect
+package main
+
+import (
+	"fmt"
+
+	"slmem"
+)
+
+func main() {
+	const (
+		reader = 0
+		writer = 1
+	)
+	reg := slmem.NewABARegister[string](2, "A")
+
+	// The reader observes "A".
+	v1, _ := reg.DRead(reader)
+	fmt.Printf("reader observes %q and starts computing...\n", v1)
+
+	// Meanwhile the value changes to "B" and back to "A".
+	reg.DWrite(writer, "B")
+	reg.DWrite(writer, "A")
+	fmt.Println("writer: A -> B -> A (value restored)")
+
+	// A naive value comparison is fooled:
+	v2, changed := reg.DRead(reader)
+	fmt.Printf("naive check:        value unchanged? %v (%q == %q)\n", v1 == v2, v1, v2)
+	fmt.Printf("ABA-detecting read: modified since my last read? %v\n", changed)
+
+	if v1 == v2 && changed {
+		fmt.Println("=> the register exposed the hidden A->B->A, the naive check missed it")
+	}
+
+	// Quiescence: with no further writes, the flag goes back to false.
+	_, changed = reg.DRead(reader)
+	fmt.Printf("next read with no writes in between: modified? %v\n", changed)
+
+	// Each process tracks its own reads: a second reader that never read
+	// before sees the full history as "modified since initialization".
+	reg2 := slmem.NewABARegister[int](3, 0)
+	reg2.DWrite(2, 42)
+	_, firstReadFlag := reg2.DRead(1)
+	fmt.Printf("fresh process's first read after any write: modified? %v\n", firstReadFlag)
+}

@@ -1,0 +1,94 @@
+// Universal construction: any simple type, strongly linearizable, from
+// registers (paper Section 5, Theorem 3).
+//
+// A type is "simple" when every pair of operations either commutes or one
+// overwrites the other. The Aspnes–Herlihy construction turns any such type
+// into a wait-free implementation by maintaining a shared precedence graph
+// of operations; with the strongly linearizable snapshot of this library as
+// its root, the result is strongly linearizable.
+//
+// Run with: go run ./examples/universal
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"slmem"
+)
+
+func main() {
+	// First, the calculus: which types are simple?
+	fmt.Println("simple-type validation:")
+	for _, tc := range []struct {
+		t   slmem.SimpleType
+		ops []string
+	}{
+		{slmem.CounterType{}, []string{"inc()", "read()"}},
+		{slmem.SetType{}, []string{"add(a)", "add(b)", "contains(a)"}},
+		{slmem.AccumulatorType{}, []string{"addTo(3)", "addTo(-1)", "read()"}},
+		{slmem.RegisterType{}, []string{"write(x)", "write(y)", "read()"}},
+	} {
+		err := slmem.ValidateSimple(tc.t, tc.ops, []int{0, 1, 2})
+		fmt.Printf("  %-12s simple: %v\n", tc.t.Name(), err == nil)
+	}
+
+	// A grow-only set, used concurrently by three goroutines.
+	const n = 3
+	set := slmem.NewObject(slmem.SetType{}, n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				item := fmt.Sprintf("item%d.%d", pid, i)
+				if _, err := set.Execute(pid, "add("+item+")"); err != nil {
+					panic(err)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+
+	found := 0
+	for pid := 0; pid < n; pid++ {
+		for i := 0; i < 5; i++ {
+			item := fmt.Sprintf("item%d.%d", pid, i)
+			resp, err := set.Execute(0, "contains("+item+")")
+			if err != nil {
+				panic(err)
+			}
+			if resp == "true" {
+				found++
+			}
+		}
+	}
+	fmt.Printf("\ngrow-only set via the construction: %d/15 items present\n", found)
+
+	// A counter: inc() operations commute, so concurrent increments are
+	// never lost.
+	ctr := slmem.NewObject(slmem.CounterType{}, n)
+	var wg2 sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg2.Add(1)
+		go func(pid int) {
+			defer wg2.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := ctr.Execute(pid, "inc()"); err != nil {
+					panic(err)
+				}
+			}
+		}(pid)
+	}
+	wg2.Wait()
+	count, _ := ctr.Execute(0, "read()")
+	fmt.Printf("counter via the construction: %s increments (expected 30)\n", count)
+
+	// The flip side (paper Section 5.3): the shared precedence graph keeps
+	// every operation, so per-operation cost grows with history. The library
+	// types (slmem.NewCounter etc.) avoid this; use the construction for
+	// types without a direct implementation.
+	fmt.Println("\nnote: the construction stores its whole history — operations slow down over time;")
+	fmt.Println("prefer the direct snapshot-derived types where they exist")
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"slmem/internal/aba"
+	"slmem/internal/lincheck"
+	"slmem/internal/memory"
+	"slmem/internal/sched"
+	"slmem/internal/snapshot"
+	"slmem/internal/spec"
+)
+
+// newFullyBounded composes Algorithm 3 over the bounded handshake snapshot
+// and the strongly linearizable ABA register: every register in the whole
+// object holds bounded state and the register count is fixed at
+// construction — the full Theorem 2 story with a concrete bounded substrate.
+func newFullyBounded(alloc memory.Allocator, n int) *Snapshot[string] {
+	s := snapshot.NewHandshake[string](alloc, n, spec.Bot)
+	initView := make([]string, n)
+	for i := range initView {
+		initView[i] = spec.Bot
+	}
+	r := aba.NewStrongFunc(alloc, n, initView, viewsEqual[string])
+	return NewWith[string](n, s, r)
+}
+
+func TestFullyBoundedComposition(t *testing.T) {
+	var alloc memory.NativeAllocator
+	s := newFullyBounded(&alloc, 3)
+	base := alloc.Registers()
+
+	// Exercise heavily; the footprint must not move.
+	for i := 0; i < 200; i++ {
+		s.Update(i%3, fmt.Sprintf("v%d", i))
+		if i%5 == 0 {
+			s.Scan((i + 1) % 3)
+		}
+	}
+	if got := alloc.Registers(); got != base {
+		t.Errorf("registers grew %d -> %d under a fully bounded composition", base, got)
+	}
+
+	got := spec.FormatView(s.Scan(0))
+	want := "[v198 v199 v197]"
+	if got != want {
+		t.Errorf("final scan = %s, want %s", got, want)
+	}
+}
+
+func TestFullyBoundedRegisterBudget(t *testing.T) {
+	// Theorem 2 shape: O(n) value registers plus the substrate's O(n²)
+	// handshake bits. Verify the exact budget so regressions are loud:
+	// handshake substrate: n + 2n²; ABA register: 1 + n.
+	for _, n := range []int{2, 4, 8} {
+		var alloc memory.NativeAllocator
+		newFullyBounded(&alloc, n)
+		want := (n + 2*n*n) + (1 + n)
+		if got := alloc.Registers(); got != want {
+			t.Errorf("n=%d: registers = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFullyBoundedLinearizable(t *testing.T) {
+	sys := sched.System{
+		N: 3,
+		Setup: func(env *sched.Env) []sched.Program {
+			s := newFullyBounded(env, 3)
+			progs := make([]sched.Program, 3)
+			for pid := 0; pid < 3; pid++ {
+				pid := pid
+				if pid == 0 {
+					progs[pid] = func(p *sched.Proc) {
+						for i := 0; i < 2; i++ {
+							p.Do("scan()", func() string {
+								return spec.FormatView(s.Scan(0))
+							})
+						}
+					}
+				} else {
+					progs[pid] = func(p *sched.Proc) {
+						for i := 0; i < 2; i++ {
+							x := fmt.Sprintf("u%d.%d", pid, i)
+							p.Do(spec.FormatInvocation("update", x), func() string {
+								s.Update(pid, x)
+								return "ok"
+							})
+						}
+					}
+				}
+			}
+			return progs
+		},
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		res := sched.Run(sys, sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckTranscript(res.T, spec.Snapshot{N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: not linearizable:\n%s", seed, res.T.Interpreted())
+		}
+	}
+}
+
+func TestFullyBoundedChainMonitor(t *testing.T) {
+	sys := sched.System{
+		N: 2,
+		Setup: func(env *sched.Env) []sched.Program {
+			s := newFullyBounded(env, 2)
+			return []sched.Program{
+				func(p *sched.Proc) {
+					for i := 0; i < 2; i++ {
+						p.Do("scan()", func() string {
+							return spec.FormatView(s.Scan(0))
+						})
+					}
+				},
+				func(p *sched.Proc) {
+					for i := 0; i < 2; i++ {
+						x := fmt.Sprintf("u%d", i)
+						p.Do(spec.FormatInvocation("update", x), func() string {
+							s.Update(1, x)
+							return "ok"
+						})
+					}
+				},
+			}
+		},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res := sched.Run(sys, sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckChain(res.T, spec.Snapshot{N: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: chain check failed at %s", seed, chk.FailNode)
+		}
+	}
+}

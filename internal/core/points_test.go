@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"slmem/internal/sched"
+	"slmem/internal/spec"
+	"slmem/internal/trace"
+)
+
+// TestPaperLinearizationPointsR validates the paper's linearization-point
+// construction for Algorithm 3 (Section 4.3, rules R-1/R-2 and tie-breaks
+// U-1..U-3) on real transcripts:
+//
+//	R-1: an SLscan linearizes at its final shared step (its last R.DRead);
+//	R-2: an SLupdate of x by p linearizes at the earliest of (a) the first
+//	     SLscan point after its invocation whose returned vector carries x
+//	     in entry p, and (b) its own R.DWrite.
+//
+// Ordering all operations by those points (updates before scans on ties,
+// pid order within a kind) must produce a valid sequential snapshot
+// history — the operational content of Lemmas 20-22 and Theorem 25.
+func TestPaperLinearizationPointsR(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		res := sched.Run(simSystem("alg3", 3, 3, 3), sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		validateSnapshotPoints(t, seed, res.T, 3)
+	}
+	// Scanner-storm runs force helping writes and long scans.
+	res := sched.Run(simSystem("alg3", 2, 6, 3),
+		&sched.Storm{IsVictim: func(pid int) bool { return pid%2 == 0 }, Period: 6}, sched.Options{})
+	if !res.Completed() {
+		t.Fatalf("storm: incomplete: %v", res.Err)
+	}
+	validateSnapshotPoints(t, -1, res.T, 2)
+}
+
+func validateSnapshotPoints(t *testing.T, seed int64, tr *trace.Transcript, n int) {
+	t.Helper()
+	h := tr.Interpreted()
+
+	type pointed struct {
+		op       trace.Operation
+		pt       int
+		isUpdate bool
+	}
+
+	// Scans first: pt = last shared step; remember parsed views.
+	type scanInfo struct {
+		pt   int
+		view []string
+	}
+	var scans []scanInfo
+	var seq []pointed
+	for _, op := range h.Ops {
+		if !op.Complete() || op.Desc != "scan()" {
+			continue
+		}
+		pt := -1
+		for i := op.Inv; i <= op.Ret; i++ {
+			e := tr.Events[i]
+			if e.OpID == op.OpID && (e.Kind == trace.KindRead || e.Kind == trace.KindWrite) {
+				pt = i
+			}
+		}
+		if pt < 0 {
+			t.Fatalf("seed %d: scan %s performed no shared steps", seed, op)
+		}
+		view := parseView(op.Res)
+		if len(view) != n {
+			t.Fatalf("seed %d: scan view %q has %d entries, want %d", seed, op.Res, len(view), n)
+		}
+		scans = append(scans, scanInfo{pt: pt, view: view})
+		seq = append(seq, pointed{op: op, pt: pt})
+	}
+
+	// Updates: pt = min(own R.DWrite point, earliest carrying scan point).
+	for _, op := range h.Ops {
+		if !op.Complete() || !strings.HasPrefix(op.Desc, "update(") {
+			continue
+		}
+		_, args, err := spec.ParseInvocation(op.Desc)
+		if err != nil || len(args) != 1 {
+			t.Fatalf("seed %d: bad update desc %q", seed, op.Desc)
+		}
+		x := args[0]
+
+		own := -1
+		for i := op.Inv; i <= op.Ret; i++ {
+			e := tr.Events[i]
+			if e.OpID == op.OpID && e.Kind == trace.KindWrite && strings.HasPrefix(e.Reg, "aba.X") {
+				own = i // the R.DWrite's linearization (write to R's X)
+			}
+		}
+		if own < 0 {
+			t.Fatalf("seed %d: update %s never wrote R", seed, op)
+		}
+		pt := own
+		for _, sc := range scans {
+			if sc.pt > op.Inv && sc.view[op.PID] == x && sc.pt < pt {
+				pt = sc.pt
+			}
+		}
+		seq = append(seq, pointed{op: op, pt: pt, isUpdate: true})
+	}
+
+	// Order by point; U-3: updates precede scans at equal points; U-2: pid
+	// order within a kind.
+	sort.Slice(seq, func(i, j int) bool {
+		a, b := seq[i], seq[j]
+		if a.pt != b.pt {
+			return a.pt < b.pt
+		}
+		if a.isUpdate != b.isUpdate {
+			return a.isUpdate
+		}
+		return a.op.PID < b.op.PID
+	})
+
+	sp := spec.Snapshot{N: n}
+	state := sp.Initial()
+	for _, pc := range seq {
+		next, want, err := sp.Apply(state, pc.op.PID, pc.op.Desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pc.op.Res != want {
+			t.Fatalf("seed %d: paper linearization invalid at %s:\nrecorded %s, spec says %s",
+				seed, pc.op, pc.op.Res, want)
+		}
+		state = next
+	}
+}
+
+func parseView(res string) []string {
+	trimmed := strings.TrimSuffix(strings.TrimPrefix(res, "["), "]")
+	if trimmed == "" {
+		return nil
+	}
+	return strings.Split(trimmed, " ")
+}
+
+// TestScanLinearizesAtFinalSharedStep checks R-1's prerequisite: a completed
+// SLscan's final shared step is a read of R's X (the last step of its final
+// R.DRead on line 49).
+func TestScanLinearizesAtFinalSharedStep(t *testing.T) {
+	res := sched.Run(simSystem("alg3", 2, 2, 2), sched.NewSeeded(5), sched.Options{})
+	if !res.Completed() {
+		t.Fatalf("incomplete: %v", res.Err)
+	}
+	checked := 0
+	for _, op := range res.T.Interpreted().Ops {
+		if !op.Complete() || op.Desc != "scan()" {
+			continue
+		}
+		last := -1
+		for i := op.Inv; i <= op.Ret; i++ {
+			e := res.T.Events[i]
+			if e.OpID == op.OpID && (e.Kind == trace.KindRead || e.Kind == trace.KindWrite) {
+				last = i
+			}
+		}
+		e := res.T.Events[last]
+		if e.Kind != trace.KindRead || !strings.HasPrefix(e.Reg, "aba.X") {
+			t.Errorf("scan #%d last shared step = %v, want a read of R's X", op.OpID, e)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no scans checked (vacuous)")
+	}
+}

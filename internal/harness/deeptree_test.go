@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"testing"
+
+	"slmem/internal/core"
+	"slmem/internal/lincheck"
+	"slmem/internal/sched"
+	"slmem/internal/spec"
+)
+
+func TestDeepBranchTreeShape(t *testing.T) {
+	sys := Observation4System(ABAStrong)
+	tree, err := DeepBranchTree(sys, 1, 2, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, leaves, depth := TreeStats(tree)
+	if depth < 2 {
+		t.Errorf("depth = %d, want >= 2", depth)
+	}
+	if leaves < 2 || nodes < 4 {
+		t.Errorf("nodes=%d leaves=%d; tree too small", nodes, leaves)
+	}
+	// Every leaf must be a completed run.
+	var checkLeaves func(n *sched.TreeNode)
+	checkLeaves = func(n *sched.TreeNode) {
+		if len(n.Children) == 0 {
+			if len(n.Enabled) != 0 && !n.T.Interpreted().Complete() {
+				t.Errorf("leaf with pending ops and enabled processes")
+			}
+			return
+		}
+		for _, c := range n.Children {
+			if !n.T.IsPrefixOf(c.T) {
+				t.Error("child does not extend parent")
+			}
+			checkLeaves(c)
+		}
+	}
+	checkLeaves(tree)
+}
+
+// TestStrongABAOnDeepTrees: Algorithm 2 must remain prefix-preserving
+// across nested branching futures.
+func TestStrongABAOnDeepTrees(t *testing.T) {
+	sys := Observation4System(ABAStrong)
+	for seed := int64(0); seed < 8; seed++ {
+		tree, err := DeepBranchTree(sys, seed, 2, 2, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := lincheck.CheckStrong(lincheck.FromSchedTree(tree), spec.ABARegister{N: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("seed %d: deep tree check failed at %s", seed, res.FailNode)
+		}
+	}
+}
+
+// TestStrongSnapshotOnDeepTrees: the composed snapshot (Algorithm 3) must
+// remain prefix-preserving across nested branching futures.
+func TestStrongSnapshotOnDeepTrees(t *testing.T) {
+	var stats *core.Stats
+	sys := SnapshotSystem(2, 1, 2, 2, &stats)
+	for seed := int64(0); seed < 6; seed++ {
+		tree, err := DeepBranchTree(sys, seed, 2, 2, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := lincheck.CheckStrong(lincheck.FromSchedTree(tree), spec.Snapshot{N: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("seed %d: deep tree check failed at %s", seed, res.FailNode)
+		}
+	}
+}
+
+// TestLinearizableABAFailsSomeDeepTree: hunting Algorithm 1 with deep trees
+// around the Observation 4 workload should find at least one violation — a
+// randomized rediscovery of the impossibility, independent of the scripted
+// proof schedule.
+func TestLinearizableABAFailsSomeDeepTree(t *testing.T) {
+	sys := Observation4System(ABALinearizable)
+	found := false
+	for seed := int64(0); seed < 60 && !found; seed++ {
+		tree, err := DeepBranchTree(sys, seed, 2, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := lincheck.CheckStrong(lincheck.FromSchedTree(tree), spec.ABARegister{N: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Log("no violation found by random deep trees (the scripted Observation 4 scenario still refutes); consider more seeds")
+	}
+}

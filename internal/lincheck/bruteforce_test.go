@@ -1,0 +1,234 @@
+package lincheck
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"slmem/internal/spec"
+	"slmem/internal/trace"
+)
+
+// bruteForce is a reference linearizability decision procedure: it tries
+// every subset of pending operations and every permutation, checking
+// real-time order and spec validity directly. Exponential, only for tiny
+// histories — it exists to cross-validate CheckHistory's search.
+func bruteForce(h *trace.History, sp spec.Spec) (bool, error) {
+	var complete, pending []int
+	for i, op := range h.Ops {
+		if op.Complete() {
+			complete = append(complete, i)
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	for mask := 0; mask < 1<<uint(len(pending)); mask++ {
+		chosen := append([]int(nil), complete...)
+		for b, idx := range pending {
+			if mask&(1<<uint(b)) != 0 {
+				chosen = append(chosen, idx)
+			}
+		}
+		ok, err := somePermutationValid(h, sp, chosen)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func somePermutationValid(h *trace.History, sp spec.Spec, idxs []int) (bool, error) {
+	perm := append([]int(nil), idxs...)
+	var rec func(k int) (bool, error)
+	rec = func(k int) (bool, error) {
+		if k == len(perm) {
+			return validSequence(h, sp, perm)
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			ok, err := rec(k + 1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false, nil
+	}
+	return rec(0)
+}
+
+func validSequence(h *trace.History, sp spec.Spec, perm []int) (bool, error) {
+	// Real-time order: if a happens before b, a must precede b.
+	pos := make(map[int]int, len(perm))
+	for p, idx := range perm {
+		pos[idx] = p
+	}
+	for _, i := range perm {
+		for _, j := range perm {
+			if i != j && h.HappensBefore(h.Ops[i], h.Ops[j]) && pos[i] > pos[j] {
+				return false, nil
+			}
+		}
+	}
+	// Spec validity.
+	state := sp.Initial()
+	for _, idx := range perm {
+		op := h.Ops[idx]
+		next, resp, err := sp.Apply(state, op.PID, op.Desc)
+		if err != nil {
+			return false, err
+		}
+		if op.Complete() && resp != op.Res {
+			return false, nil
+		}
+		state = next
+	}
+	return true, nil
+}
+
+// randomHistory generates a small well-formed register history: each op has
+// its own pid (so per-process sequentiality is trivial), random overlapping
+// intervals, and responses that are sometimes plausible and sometimes
+// corrupted — exercising both verdicts.
+func randomHistory(rng *rand.Rand) *trace.History {
+	nops := 2 + rng.Intn(4) // 2..5
+	type iv struct{ inv, ret int }
+	ticks := rng.Perm(2 * nops)
+	ivs := make([]iv, nops)
+	for i := range ivs {
+		a, b := ticks[2*i], ticks[2*i+1]
+		if a > b {
+			a, b = b, a
+		}
+		ivs[i] = iv{a, b}
+	}
+	vals := []string{"a", "b"}
+	h := &trace.History{}
+	for i := 0; i < nops; i++ {
+		var desc, res string
+		if rng.Intn(2) == 0 {
+			desc = spec.FormatInvocation("write", vals[rng.Intn(len(vals))])
+			res = "ok"
+		} else {
+			desc = "read()"
+			res = []string{"a", "b", spec.Bot}[rng.Intn(3)]
+		}
+		ret := ivs[i].ret
+		if rng.Intn(5) == 0 {
+			ret = -1 // pending
+			res = ""
+		}
+		h.Ops = append(h.Ops, trace.Operation{
+			OpID: i + 1,
+			PID:  i, // distinct pids keep the history well-formed
+			Desc: desc,
+			Res:  res,
+			Inv:  ivs[i].inv,
+			Ret:  ret,
+		})
+	}
+	return h
+}
+
+// TestCheckHistoryAgreesWithBruteForce cross-validates the memoized DFS
+// against the exhaustive reference on hundreds of random tiny histories.
+func TestCheckHistoryAgreesWithBruteForce(t *testing.T) {
+	sp := spec.Register{}
+	rng := rand.New(rand.NewSource(20190828)) // arXiv date of the paper
+	for trial := 0; trial < 400; trial++ {
+		h := randomHistory(rng)
+		want, err := bruteForce(h, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CheckHistory(h, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Ok != want {
+			t.Fatalf("trial %d: CheckHistory=%v bruteForce=%v on:\n%s", trial, got.Ok, want, h)
+		}
+	}
+}
+
+// TestCheckHistoryAgreesWithBruteForceCounter repeats the cross-check with a
+// stateful accumulator-style spec where operation order matters more.
+func TestCheckHistoryAgreesWithBruteForceCounter(t *testing.T) {
+	sp := spec.Counter{}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nops := 2 + rng.Intn(3)
+		ticks := rng.Perm(2 * nops)
+		h := &trace.History{}
+		for i := 0; i < nops; i++ {
+			a, b := ticks[2*i], ticks[2*i+1]
+			if a > b {
+				a, b = b, a
+			}
+			var desc, res string
+			if rng.Intn(2) == 0 {
+				desc, res = "inc()", "ok"
+			} else {
+				desc, res = "read()", fmt.Sprint(rng.Intn(nops+1))
+			}
+			h.Ops = append(h.Ops, trace.Operation{
+				OpID: i + 1, PID: i, Desc: desc, Res: res, Inv: a, Ret: b,
+			})
+		}
+		want, err := bruteForce(h, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CheckHistory(h, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Ok != want {
+			t.Fatalf("trial %d: CheckHistory=%v bruteForce=%v on:\n%s", trial, got.Ok, want, h)
+		}
+	}
+}
+
+// TestWitnessIsValid: whenever CheckHistory accepts, its witness must
+// itself pass direct validation.
+func TestWitnessIsValid(t *testing.T) {
+	sp := spec.Register{}
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		h := randomHistory(rng)
+		res, err := CheckHistory(h, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			continue
+		}
+		checked++
+		// Replay the witness directly.
+		idxByOpID := make(map[int]int)
+		for i, op := range h.Ops {
+			idxByOpID[op.OpID] = i
+		}
+		perm := make([]int, 0, len(res.Witness.Seq))
+		for _, e := range res.Witness.Seq {
+			perm = append(perm, idxByOpID[e.OpID])
+		}
+		ok, err := validSequence(h, sp, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: witness fails direct validation: %s", trial, res.Witness)
+		}
+	}
+	if checked == 0 {
+		t.Error("no linearizable histories generated; generator broken")
+	}
+}

@@ -1,0 +1,73 @@
+package lincheck
+
+import (
+	"testing"
+
+	"slmem/internal/spec"
+	"slmem/internal/trace"
+)
+
+// FuzzCheckHistoryRegister fuzzes the checker against the brute-force
+// reference: on every generated history the two must agree, and the checker
+// must never panic. Bytes decode into a small register history.
+func FuzzCheckHistoryRegister(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{7, 7, 7, 7, 7, 7})
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 8, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := decodeHistory(data)
+		if len(h.Ops) == 0 || len(h.Ops) > 5 {
+			return
+		}
+		sp := spec.Register{}
+		want, err := bruteForce(h, sp)
+		if err != nil {
+			return // malformed descs rejected by the spec are fine
+		}
+		got, err := CheckHistory(h, sp)
+		if err != nil {
+			t.Fatalf("bruteForce accepted but CheckHistory errored: %v", err)
+		}
+		if got.Ok != want {
+			t.Fatalf("disagreement: CheckHistory=%v bruteForce=%v on:\n%s", got.Ok, want, h)
+		}
+	})
+}
+
+// decodeHistory deterministically decodes fuzz bytes into a well-formed
+// history: each op consumes 3 bytes (kind/value, interval shape, response).
+func decodeHistory(data []byte) *trace.History {
+	h := &trace.History{}
+	tick := 0
+	for i := 0; i+2 < len(data) && len(h.Ops) < 5; i += 3 {
+		kind, shape, resp := data[i], data[i+1], data[i+2]
+		op := trace.Operation{
+			OpID: len(h.Ops) + 1,
+			PID:  len(h.Ops), // distinct pids keep it well-formed
+		}
+		if kind%2 == 0 {
+			op.Desc = spec.FormatInvocation("write", []string{"a", "b"}[int(kind/2)%2])
+			op.Res = "ok"
+		} else {
+			op.Desc = "read()"
+			op.Res = []string{"a", "b", spec.Bot}[int(resp)%3]
+		}
+		// Interval: overlap with the previous op or not; possibly pending.
+		op.Inv = tick
+		tick++
+		switch shape % 3 {
+		case 0: // immediate completion
+			op.Ret = tick
+			tick++
+		case 1: // long interval (overlaps successors)
+			op.Ret = tick + 5
+			tick++
+		default: // pending
+			op.Ret = -1
+			op.Res = ""
+		}
+		h.Ops = append(h.Ops, op)
+	}
+	return h
+}

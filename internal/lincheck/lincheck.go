@@ -1,0 +1,373 @@
+// Package lincheck decides linearizability of recorded histories and strong
+// linearizability of prefix-closed transcript trees, against deterministic
+// sequential specifications (internal/spec).
+//
+// Linearizability of a single history is decided by a Wing–Gong style
+// depth-first search with memoization on (set of linearized operations,
+// specification state).
+//
+// Strong linearizability (Golab, Higham, Woelfel) additionally requires a
+// prefix-preserving linearization function over the prefix-closed set of
+// transcripts. That is a property of transcript *trees*, not of single
+// executions: the paper's Observation 4 refutes strong linearizability of
+// Algorithm 1 using two continuations T1, T2 of one prefix S. CheckStrong
+// performs AND/OR backtracking over such a tree: at each node it chooses an
+// extension of the parent's linearization, and the same choice must work for
+// every child.
+package lincheck
+
+import (
+	"fmt"
+	"strings"
+
+	"slmem/internal/sched"
+	"slmem/internal/spec"
+	"slmem/internal/trace"
+)
+
+// LinOp is one entry of a linearization: an operation and the response it
+// was linearized with. For operations that were pending when linearized the
+// response is the specification-derived one, and must match the actual
+// response if the operation later completes.
+type LinOp struct {
+	OpID int
+	Desc string
+	PID  int
+	Resp string
+}
+
+// Linearization is a valid sequential ordering with its final spec state.
+type Linearization struct {
+	Seq   []LinOp
+	State string
+}
+
+// String renders the linearization for diagnostics.
+func (l Linearization) String() string {
+	parts := make([]string, len(l.Seq))
+	for i, e := range l.Seq {
+		parts[i] = fmt.Sprintf("#%d:%s->%s", e.OpID, e.Desc, e.Resp)
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// --- Single-history linearizability -------------------------------------------
+
+// Result reports the outcome of a linearizability check.
+type Result struct {
+	Ok bool
+	// Witness is a linearization when Ok.
+	Witness Linearization
+	// Reason explains failures.
+	Reason string
+}
+
+// CheckHistory decides whether the history is linearizable with respect to
+// the specification. Pending operations may be linearized (with their
+// specification-derived response) or dropped.
+func CheckHistory(h *trace.History, sp spec.Spec) (Result, error) {
+	return CheckHistoryFrom(h, sp, sp.Initial())
+}
+
+// CheckHistoryFrom is CheckHistory starting from an explicit specification
+// state instead of sp.Initial().
+func CheckHistoryFrom(h *trace.History, sp spec.Spec, initial string) (Result, error) {
+	ops := h.Ops
+	n := len(ops)
+	if n > 62 {
+		return Result{}, fmt.Errorf("lincheck: history has %d operations, max 62", n)
+	}
+
+	// Precompute happens-before and the required (complete) set.
+	hb := make([][]bool, n)
+	var required uint64
+	for i := range ops {
+		hb[i] = make([]bool, n)
+		for j := range ops {
+			if i != j {
+				hb[i][j] = h.HappensBefore(ops[i], ops[j])
+			}
+		}
+		if ops[i].Complete() {
+			required |= 1 << uint(i)
+		}
+	}
+
+	type memoKey struct {
+		mask  uint64
+		state string
+	}
+	failed := make(map[memoKey]bool)
+
+	var seq []LinOp
+	var dfs func(mask uint64, state string) (bool, error)
+	dfs = func(mask uint64, state string) (bool, error) {
+		if mask&required == required {
+			return true, nil
+		}
+		key := memoKey{mask, state}
+		if failed[key] {
+			return false, nil
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 {
+				continue
+			}
+			// An operation may be linearized next only if no other
+			// unlinearized operation happens before it.
+			legal := true
+			for j := 0; j < n; j++ {
+				if j != i && mask&(1<<uint(j)) == 0 && hb[j][i] {
+					legal = false
+					break
+				}
+			}
+			if !legal {
+				continue
+			}
+			next, resp, err := sp.Apply(state, ops[i].PID, ops[i].Desc)
+			if err != nil {
+				return false, fmt.Errorf("lincheck: %s: %w", ops[i].Desc, err)
+			}
+			if ops[i].Complete() && resp != ops[i].Res {
+				continue
+			}
+			seq = append(seq, LinOp{OpID: ops[i].OpID, Desc: ops[i].Desc, PID: ops[i].PID, Resp: resp})
+			ok, err := dfs(mask|bit, next)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			seq = seq[:len(seq)-1]
+		}
+		failed[key] = true
+		return false, nil
+	}
+
+	ok, err := dfs(0, initial)
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{Reason: "no valid linearization of the history exists"}, nil
+	}
+	witness := Linearization{Seq: append([]LinOp(nil), seq...)}
+	state := initial
+	for _, e := range witness.Seq {
+		state, _, _ = sp.Apply(state, e.PID, e.Desc)
+	}
+	witness.State = state
+	return Result{Ok: true, Witness: witness}, nil
+}
+
+// CheckTranscript is CheckHistory on Γ(t).
+func CheckTranscript(t *trace.Transcript, sp spec.Spec) (Result, error) {
+	return CheckHistory(t.Interpreted(), sp)
+}
+
+// --- Strong linearizability over transcript trees -----------------------------
+
+// Node is a node of a prefix-closed history tree: each child's history
+// extends the parent's (same operations plus possibly new ones; pending
+// operations may have completed).
+type Node struct {
+	// Label describes the node in diagnostics (e.g. its schedule).
+	Label string
+	// H is the interpreted history at this node.
+	H *trace.History
+	// Children of this node.
+	Children []*Node
+}
+
+// FromSchedTree converts a scheduler transcript tree to a history tree.
+func FromSchedTree(t *sched.TreeNode) *Node {
+	node := &Node{
+		Label: fmt.Sprintf("%v", t.Schedule),
+		H:     t.T.Interpreted(),
+	}
+	for _, c := range t.Children {
+		node.Children = append(node.Children, FromSchedTree(c))
+	}
+	return node
+}
+
+// ChainFromTranscript builds the path tree of a single execution: one node
+// per prefix of t that ends at a high-level event (invocation or response).
+// A prefix-preserving linearization function must exist along every single
+// execution; this is a necessary condition for strong linearizability that
+// can be monitored per run.
+func ChainFromTranscript(t *trace.Transcript) *Node {
+	var cuts []int
+	for i, e := range t.Events {
+		if e.Kind == trace.KindInvoke || e.Kind == trace.KindReturn {
+			cuts = append(cuts, i+1)
+		}
+	}
+	if len(cuts) == 0 || cuts[len(cuts)-1] != t.Len() {
+		cuts = append(cuts, t.Len())
+	}
+	root := &Node{Label: "ε", H: (&trace.Transcript{}).Interpreted()}
+	cur := root
+	for _, cut := range cuts {
+		child := &Node{
+			Label: fmt.Sprintf("prefix[:%d]", cut),
+			H:     t.Prefix(cut).Interpreted(),
+		}
+		cur.Children = []*Node{child}
+		cur = child
+	}
+	return root
+}
+
+// StrongResult reports the outcome of a strong-linearizability check.
+type StrongResult struct {
+	Ok bool
+	// Witness maps node labels to the linearization chosen there when Ok.
+	Witness map[string]Linearization
+	// FailNode names a node witnessing failure (best-effort diagnostic).
+	FailNode string
+}
+
+// CheckStrong decides whether the history tree admits a prefix-preserving
+// linearization function: an assignment of a linearization to every node
+// such that each child's linearization extends its parent's.
+//
+// A negative answer on any tree of reachable transcripts proves the
+// implementation is not strongly linearizable (this is how Observation 4 is
+// reproduced mechanically). A positive answer certifies the property for the
+// explored tree.
+func CheckStrong(root *Node, sp spec.Spec) (StrongResult, error) {
+	res := StrongResult{Witness: make(map[string]Linearization)}
+	ok, err := solveNode(root, sp, nil, sp.Initial(), &res)
+	if err != nil {
+		return StrongResult{}, err
+	}
+	res.Ok = ok
+	if !ok {
+		res.Witness = nil
+	}
+	return res, nil
+}
+
+// solveNode tries to find a linearization for node extending prefix (with
+// final state prefixState) that works for all children.
+func solveNode(node *Node, sp spec.Spec, prefix []LinOp, prefixState string, out *StrongResult) (bool, error) {
+	ops := node.H.Ops
+	inPrefix := make(map[int]bool, len(prefix))
+	// Consistency: operations linearized at an ancestor while pending must,
+	// if now complete, have responded with the assigned response.
+	for _, e := range prefix {
+		inPrefix[e.OpID] = true
+		if op, found := node.H.ByID(e.OpID); found && op.Complete() && op.Res != e.Resp {
+			if out.FailNode == "" {
+				out.FailNode = node.Label
+			}
+			return false, nil
+		}
+	}
+
+	// Remaining operations and their happens-before structure.
+	var rest []trace.Operation
+	for _, op := range ops {
+		if !inPrefix[op.OpID] {
+			rest = append(rest, op)
+		}
+	}
+	hb := make([][]bool, len(rest))
+	for i := range rest {
+		hb[i] = make([]bool, len(rest))
+		for j := range rest {
+			if i != j {
+				hb[i][j] = node.H.HappensBefore(rest[i], rest[j])
+			}
+		}
+	}
+
+	used := make([]bool, len(rest))
+	seq := append([]LinOp(nil), prefix...)
+
+	var extend func(state string, requiredLeft int) (bool, error)
+	extend = func(state string, requiredLeft int) (bool, error) {
+		if requiredLeft == 0 {
+			// Current seq is a linearization of this node's history; require
+			// all children to succeed with it as their prefix.
+			allOk := true
+			for _, c := range node.Children {
+				ok, err := solveNode(c, sp, seq, state, out)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					allOk = false
+					break
+				}
+			}
+			if allOk {
+				out.Witness[node.Label] = Linearization{Seq: append([]LinOp(nil), seq...), State: state}
+				return true, nil
+			}
+		}
+		for i := range rest {
+			if used[i] {
+				continue
+			}
+			legal := true
+			for j := range rest {
+				if j != i && !used[j] && hb[j][i] {
+					legal = false
+					break
+				}
+			}
+			if !legal {
+				continue
+			}
+			next, resp, err := sp.Apply(state, rest[i].PID, rest[i].Desc)
+			if err != nil {
+				return false, fmt.Errorf("lincheck: %s: %w", rest[i].Desc, err)
+			}
+			if rest[i].Complete() && resp != rest[i].Res {
+				continue
+			}
+			used[i] = true
+			seq = append(seq, LinOp{OpID: rest[i].OpID, Desc: rest[i].Desc, PID: rest[i].PID, Resp: resp})
+			dec := 0
+			if rest[i].Complete() {
+				dec = 1
+			}
+			ok, err := extend(next, requiredLeft-dec)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			seq = seq[:len(seq)-1]
+			used[i] = false
+		}
+		return false, nil
+	}
+
+	requiredLeft := 0
+	for _, op := range rest {
+		if op.Complete() {
+			requiredLeft++
+		}
+	}
+	ok, err := extend(prefixState, requiredLeft)
+	if err != nil {
+		return false, err
+	}
+	if !ok && out.FailNode == "" {
+		out.FailNode = node.Label
+	}
+	return ok, nil
+}
+
+// CheckChain verifies the necessary prefix-preservation condition along a
+// single execution: CheckStrong on the prefix chain of t.
+func CheckChain(t *trace.Transcript, sp spec.Spec) (StrongResult, error) {
+	return CheckStrong(ChainFromTranscript(t), sp)
+}

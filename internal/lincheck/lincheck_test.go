@@ -1,0 +1,392 @@
+package lincheck
+
+import (
+	"testing"
+
+	"slmem/internal/spec"
+	"slmem/internal/trace"
+)
+
+// hist builds a history from (desc, res, pid, inv, ret) tuples; ret < 0
+// means pending.
+func hist(ops ...trace.Operation) *trace.History {
+	h := &trace.History{}
+	h.Ops = append(h.Ops, ops...)
+	return h
+}
+
+func op(id, pid int, desc, res string, inv, ret int) trace.Operation {
+	return trace.Operation{OpID: id, PID: pid, Desc: desc, Res: res, Inv: inv, Ret: ret}
+}
+
+func TestCheckHistorySequentialValid(t *testing.T) {
+	h := hist(
+		op(1, 0, "write(5)", "ok", 0, 1),
+		op(2, 1, "read()", "5", 2, 3),
+	)
+	res, err := CheckHistory(h, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("valid sequential history rejected: %s", res.Reason)
+	}
+	if len(res.Witness.Seq) != 2 || res.Witness.Seq[0].OpID != 1 {
+		t.Errorf("witness = %s", res.Witness)
+	}
+}
+
+func TestCheckHistorySequentialInvalid(t *testing.T) {
+	h := hist(
+		op(1, 0, "write(5)", "ok", 0, 1),
+		op(2, 1, "read()", "7", 2, 3), // wrong value, no overlap
+	)
+	res, err := CheckHistory(h, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("invalid history accepted")
+	}
+}
+
+func TestCheckHistoryConcurrentReorder(t *testing.T) {
+	// write(5) overlaps read()->bot: read may linearize first.
+	h := hist(
+		op(1, 0, "write(5)", "ok", 0, 3),
+		op(2, 1, "read()", spec.Bot, 1, 2),
+	)
+	res, err := CheckHistory(h, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("legal concurrent reorder rejected")
+	}
+}
+
+func TestCheckHistoryRealTimeOrderEnforced(t *testing.T) {
+	// read()->bot strictly AFTER write(5) completed: must fail.
+	h := hist(
+		op(1, 0, "write(5)", "ok", 0, 1),
+		op(2, 1, "read()", spec.Bot, 2, 3),
+	)
+	res, err := CheckHistory(h, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("stale read after completed write accepted")
+	}
+}
+
+func TestCheckHistoryPendingOpMayLinearize(t *testing.T) {
+	// Pending update(5) justifies a scan returning [5 _].
+	h := hist(
+		op(1, 0, "update(5)", "", 0, -1), // pending
+		op(2, 1, "scan()", "[5 "+spec.Bot+"]", 1, 2),
+	)
+	res, err := CheckHistory(h, spec.Snapshot{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("pending update not allowed to take effect")
+	}
+}
+
+func TestCheckHistoryPendingOpMayBeDropped(t *testing.T) {
+	h := hist(
+		op(1, 0, "update(5)", "", 0, -1), // pending
+		op(2, 1, "scan()", "["+spec.Bot+" "+spec.Bot+"]", 1, 2),
+	)
+	res, err := CheckHistory(h, spec.Snapshot{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("dropping a pending update not allowed")
+	}
+}
+
+func TestCheckHistorySnapshotInconsistentViews(t *testing.T) {
+	// Two sequential scans observing updates in contradictory orders.
+	h := hist(
+		op(1, 0, "update(a)", "ok", 0, 1),
+		op(2, 1, "scan()", "[a "+spec.Bot+"]", 2, 3),
+		op(3, 1, "update(b)", "ok", 4, 5),
+		op(4, 0, "scan()", "["+spec.Bot+" b]", 6, 7), // lost component 0
+	)
+	res, err := CheckHistory(h, spec.Snapshot{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("snapshot forgetting a completed update accepted")
+	}
+}
+
+func TestCheckHistoryCounter(t *testing.T) {
+	// Two concurrent incs and a later read of 2: valid.
+	h := hist(
+		op(1, 0, "inc()", "ok", 0, 2),
+		op(2, 1, "inc()", "ok", 1, 3),
+		op(3, 0, "read()", "2", 4, 5),
+	)
+	res, err := CheckHistory(h, spec.Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("valid counter history rejected")
+	}
+
+	// Read of 1 after both incs completed: invalid.
+	h2 := hist(
+		op(1, 0, "inc()", "ok", 0, 1),
+		op(2, 1, "inc()", "ok", 2, 3),
+		op(3, 0, "read()", "1", 4, 5),
+	)
+	res, err = CheckHistory(h2, spec.Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("lost increment accepted")
+	}
+}
+
+func TestCheckHistoryABAFlag(t *testing.T) {
+	// DRead, then a DWrite, then DRead must report true.
+	h := hist(
+		op(1, 0, "DRead()", "("+spec.Bot+",false)", 0, 1),
+		op(2, 1, "DWrite(x)", "ok", 2, 3),
+		op(3, 0, "DRead()", "(x,true)", 4, 5),
+	)
+	res, err := CheckHistory(h, spec.ABARegister{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("valid ABA history rejected")
+	}
+
+	// Same but the final DRead claims false: invalid.
+	h2 := hist(
+		op(1, 0, "DRead()", "("+spec.Bot+",false)", 0, 1),
+		op(2, 1, "DWrite(x)", "ok", 2, 3),
+		op(3, 0, "DRead()", "(x,false)", 4, 5),
+	)
+	res, err = CheckHistory(h2, spec.ABARegister{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("missed DWrite accepted")
+	}
+}
+
+func TestCheckHistoryTooManyOps(t *testing.T) {
+	h := &trace.History{}
+	for i := 0; i < 63; i++ {
+		h.Ops = append(h.Ops, op(i, 0, "read()", spec.Bot, 2*i, 2*i+1))
+	}
+	if _, err := CheckHistory(h, spec.Register{}); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+// --- Strong checker ------------------------------------------------------------
+
+func leaf(label string, ops ...trace.Operation) *Node {
+	return &Node{Label: label, H: hist(ops...)}
+}
+
+func TestCheckStrongSimpleChainOk(t *testing.T) {
+	// Prefix: pending write. Child: write complete, read sees it.
+	root := leaf("S", op(1, 0, "write(5)", "", 0, -1))
+	child := leaf("T",
+		op(1, 0, "write(5)", "ok", 0, 1),
+		op(2, 1, "read()", "5", 2, 3),
+	)
+	root.Children = []*Node{child}
+	res, err := CheckStrong(root, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("valid chain rejected (fail at %s)", res.FailNode)
+	}
+}
+
+func TestCheckStrongBranchingUnsat(t *testing.T) {
+	// The essence of Observation 4: a pending read overlapping a completed
+	// write(b), where one future has the read return "a" (it linearized
+	// before write(b)) and the other has it return "b". Both writes are
+	// complete in the prefix, so f(S) must already order [write(a),
+	// write(b)] and either include the read between them (committing
+	// response "a", contradicting T2) or not (forcing the read after
+	// write(b) in T1, deriving "b" and contradicting its recorded "a").
+	// Hence no prefix-preserving linearization function exists — even though
+	// each branch is individually linearizable.
+	prefixOps := []trace.Operation{
+		op(1, 0, "write(a)", "ok", 0, 1),
+		op(2, 1, "read()", "", 2, -1),
+		op(3, 0, "write(b)", "ok", 3, 4),
+	}
+	// T1: read returns "a" (so it linearized before write(b)).
+	t1 := leaf("T1",
+		prefixOps[0],
+		op(2, 1, "read()", "a", 2, 5),
+		prefixOps[2],
+	)
+	// T2: read returns "b" (so it linearized after write(b)).
+	t2 := leaf("T2",
+		prefixOps[0],
+		op(2, 1, "read()", "b", 2, 5),
+		prefixOps[2],
+	)
+	root := leaf("S", prefixOps...)
+	root.Children = []*Node{t1, t2}
+
+	// Each branch alone is linearizable...
+	for _, n := range []*Node{t1, t2} {
+		lres, err := CheckHistory(n.H, spec.Register{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lres.Ok {
+			t.Fatalf("branch %s should be linearizable on its own", n.Label)
+		}
+	}
+	// ...but the tree admits no prefix-preserving linearization function.
+	res, err := CheckStrong(root, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("contradictory branching tree accepted")
+	}
+}
+
+func TestCheckStrongUnsatisfiable(t *testing.T) {
+	// Force the prefix to commit: in the prefix, the read has COMPLETED with
+	// value "a" but a second pending read by the same process exists whose
+	// value differs across branches in a contradictory way.
+	//
+	// Simpler canonical unsat case: prefix has read completed -> "a" before
+	// write(b) even started; children extend with a read -> "b" before
+	// write(b) was invoked. Build directly: child histories that are
+	// individually linearizable but require contradictory prefix choices.
+	//
+	// Prefix S: write(a) pending from 0; read1 by p1 complete [1,2] -> "a".
+	// (So write(a) must be linearized in the prefix, before read1.)
+	s := leaf("S",
+		op(1, 0, "write(a)", "", 0, -1),
+		op(2, 1, "read()", "a", 1, 2),
+	)
+	// Child T1: same ops, plus read2 by p1 complete -> bot. read2 can only
+	// return bot if write(a) never linearized — contradicting the prefix.
+	t1 := leaf("T1",
+		op(1, 0, "write(a)", "", 0, -1),
+		op(2, 1, "read()", "a", 1, 2),
+		op(3, 1, "read()", spec.Bot, 3, 4),
+	)
+	s.Children = []*Node{t1}
+
+	res, err := CheckStrong(s, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("contradictory tree accepted")
+	}
+	// Sanity: T1 alone is NOT even linearizable, so make the test meaningful
+	// by checking the child history directly.
+	lres, err := CheckHistory(t1.H, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Ok {
+		t.Log("note: child history linearizable on its own; unsat comes from prefix preservation")
+	}
+}
+
+func TestCheckStrongPendingResponseConsistency(t *testing.T) {
+	// A pending op linearized at the prefix with derived response "ok" later
+	// completes with a different recorded response -> must backtrack/fail.
+	// Register read linearized while pending derives the current value; if
+	// the actual later response differs, the choice is inconsistent.
+	s := leaf("S",
+		op(1, 0, "write(a)", "ok", 0, 1),
+		op(2, 1, "read()", "", 2, -1), // pending; if linearized now, derives "a"
+	)
+	// Child: read completed with "b" and a write(b) appears AFTER the read's
+	// completion; also read2 by p0 observed "a" after read1's interval began.
+	child := leaf("T",
+		op(1, 0, "write(a)", "ok", 0, 1),
+		op(2, 1, "read()", "b", 2, 5),
+		op(3, 0, "write(b)", "ok", 3, 4),
+	)
+	s.Children = []*Node{child}
+	res, err := CheckStrong(s, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Satisfiable: prefix should NOT linearize the pending read; child then
+	// linearizes write(a), write(b), read->"b".
+	if !res.Ok {
+		t.Fatalf("satisfiable tree rejected (fail at %s)", res.FailNode)
+	}
+	// The witness prefix must not contain op 2.
+	for _, e := range res.Witness["S"].Seq {
+		if e.OpID == 2 {
+			t.Error("prefix linearized the pending read yet children contradict it")
+		}
+	}
+}
+
+func TestChainFromTranscript(t *testing.T) {
+	tr := &trace.Transcript{}
+	tr.Append(trace.Event{Kind: trace.KindInvoke, PID: 0, OpID: 1, Desc: "write(1)"})
+	tr.Append(trace.Event{Kind: trace.KindWrite, PID: 0, OpID: 1, Reg: "X", Val: "1"})
+	tr.Append(trace.Event{Kind: trace.KindReturn, PID: 0, OpID: 1, Res: "ok"})
+	tr.Append(trace.Event{Kind: trace.KindInvoke, PID: 0, OpID: 2, Desc: "read()"})
+	tr.Append(trace.Event{Kind: trace.KindRead, PID: 0, OpID: 2, Reg: "X", Val: "1"})
+	tr.Append(trace.Event{Kind: trace.KindReturn, PID: 0, OpID: 2, Res: "1"})
+
+	res, err := CheckChain(tr, spec.Register{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("valid sequential transcript chain rejected at %s", res.FailNode)
+	}
+}
+
+func TestCheckStrongDeepTreeBranching(t *testing.T) {
+	// Three-level tree: prefix, two mid nodes, each with a leaf; all
+	// consistent.
+	s := leaf("S", op(1, 0, "inc()", "", 0, -1))
+	m1 := leaf("M1",
+		op(1, 0, "inc()", "ok", 0, 1),
+	)
+	m2 := leaf("M2",
+		op(1, 0, "inc()", "", 0, -1),
+		op(2, 1, "read()", "0", 1, 2), // read before inc takes effect
+	)
+	l1 := leaf("L1",
+		op(1, 0, "inc()", "ok", 0, 1),
+		op(2, 1, "read()", "1", 2, 3),
+	)
+	m1.Children = []*Node{l1}
+	s.Children = []*Node{m1, m2}
+
+	res, err := CheckStrong(s, spec.Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("consistent tree rejected at %s", res.FailNode)
+	}
+}

@@ -1,0 +1,215 @@
+package lincheck
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"slmem/internal/spec"
+	"slmem/internal/trace"
+)
+
+// bruteStrong is an independent reference for CheckStrong: at every node it
+// enumerates ALL linearizations of the node's history outright (subsets of
+// pending ops × permutations, filtered by real-time order and validity),
+// keeps those extending the parent's choice, and requires one choice to
+// work for all children. Factorial; tiny trees only.
+func bruteStrong(node *Node, sp spec.Spec, prefix []LinOp) (bool, error) {
+	lins, err := allLinearizations(node.H, sp)
+	if err != nil {
+		return false, err
+	}
+candidates:
+	for _, lin := range lins {
+		// Must extend the parent's linearization exactly (ids + responses).
+		if len(lin) < len(prefix) {
+			continue
+		}
+		for i, e := range prefix {
+			if lin[i].OpID != e.OpID || lin[i].Resp != e.Resp {
+				continue candidates
+			}
+		}
+		ok := true
+		for _, c := range node.Children {
+			childOk, err := bruteStrong(c, sp, lin)
+			if err != nil {
+				return false, err
+			}
+			if !childOk {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// allLinearizations enumerates every valid linearization of h: every subset
+// of pending ops joined with all complete ops, in every order that respects
+// happens-before and the specification.
+func allLinearizations(h *trace.History, sp spec.Spec) ([][]LinOp, error) {
+	var complete, pending []int
+	for i, op := range h.Ops {
+		if op.Complete() {
+			complete = append(complete, i)
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	var out [][]LinOp
+	for mask := 0; mask < 1<<uint(len(pending)); mask++ {
+		chosen := append([]int(nil), complete...)
+		for b, idx := range pending {
+			if mask&(1<<uint(b)) != 0 {
+				chosen = append(chosen, idx)
+			}
+		}
+		perm := append([]int(nil), chosen...)
+		var rec func(k int) error
+		rec = func(k int) error {
+			if k == len(perm) {
+				lin, ok, err := sequenceToLin(h, sp, perm)
+				if err != nil {
+					return err
+				}
+				if ok {
+					out = append(out, lin)
+				}
+				return nil
+			}
+			for i := k; i < len(perm); i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				if err := rec(k + 1); err != nil {
+					return err
+				}
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+			return nil
+		}
+		if err := rec(0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func sequenceToLin(h *trace.History, sp spec.Spec, perm []int) ([]LinOp, bool, error) {
+	pos := make(map[int]int, len(perm))
+	for p, idx := range perm {
+		pos[idx] = p
+	}
+	for _, i := range perm {
+		for _, j := range perm {
+			if i != j && h.HappensBefore(h.Ops[i], h.Ops[j]) && pos[i] > pos[j] {
+				return nil, false, nil
+			}
+		}
+	}
+	state := sp.Initial()
+	lin := make([]LinOp, 0, len(perm))
+	for _, idx := range perm {
+		op := h.Ops[idx]
+		next, resp, err := sp.Apply(state, op.PID, op.Desc)
+		if err != nil {
+			return nil, false, err
+		}
+		if op.Complete() && resp != op.Res {
+			return nil, false, nil
+		}
+		lin = append(lin, LinOp{OpID: op.OpID, Desc: op.Desc, PID: op.PID, Resp: resp})
+		state = next
+	}
+	return lin, true, nil
+}
+
+// randomTree builds a small random history tree: histories evolve by
+// invoking and completing register operations; children extend their parent.
+func randomTree(rng *rand.Rand, maxOps, depth int) *Node {
+	type pendingOp struct {
+		idx int
+	}
+	var build func(h []trace.Operation, nextID, tick, d int) *Node
+	build = func(h []trace.Operation, nextID, tick, d int) *Node {
+		node := &Node{
+			Label: fmt.Sprintf("n%d.%d", d, tick),
+			H:     &trace.History{Ops: append([]trace.Operation(nil), h...)},
+		}
+		if d == 0 {
+			return node
+		}
+		kids := 1 + rng.Intn(2)
+		for c := 0; c < kids; c++ {
+			child := append([]trace.Operation(nil), h...)
+			id, t := nextID, tick
+			// Apply 1..3 random events.
+			for e := 0; e < 1+rng.Intn(3); e++ {
+				var pend []pendingOp
+				for i, op := range child {
+					if !op.Complete() {
+						pend = append(pend, pendingOp{i})
+					}
+				}
+				if len(pend) > 0 && rng.Intn(2) == 0 {
+					// Complete a pending op with a random plausible response.
+					p := pend[rng.Intn(len(pend))]
+					op := &child[p.idx]
+					op.Ret = t
+					t++
+					if op.Desc == "read()" {
+						op.Res = []string{"a", "b", spec.Bot}[rng.Intn(3)]
+					} else {
+						op.Res = "ok"
+					}
+				} else if len(child) < maxOps {
+					// Invoke a new op on a fresh pid (keeps well-formedness).
+					desc := "read()"
+					if rng.Intn(2) == 0 {
+						desc = spec.FormatInvocation("write", []string{"a", "b"}[rng.Intn(2)])
+					}
+					child = append(child, trace.Operation{
+						OpID: id, PID: id, Desc: desc, Inv: t, Ret: -1,
+					})
+					id++
+					t++
+				}
+			}
+			node.Children = append(node.Children, build(child, id, t, d-1))
+		}
+		return node
+	}
+	return build(nil, 1, 0, depth)
+}
+
+// TestCheckStrongAgreesWithBruteForce cross-validates the backtracking tree
+// checker against the exhaustive reference on random small trees.
+func TestCheckStrongAgreesWithBruteForce(t *testing.T) {
+	sp := spec.Register{}
+	rng := rand.New(rand.NewSource(1908)) // arXiv id prefix of the paper
+	agreeSat, agreeUnsat := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		tree := randomTree(rng, 4, 3)
+		want, err := bruteStrong(tree, sp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CheckStrong(tree, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Ok != want {
+			t.Fatalf("trial %d: CheckStrong=%v bruteStrong=%v", trial, got.Ok, want)
+		}
+		if want {
+			agreeSat++
+		} else {
+			agreeUnsat++
+		}
+	}
+	if agreeSat == 0 || agreeUnsat == 0 {
+		t.Errorf("generator imbalance: sat=%d unsat=%d — need both verdicts exercised", agreeSat, agreeUnsat)
+	}
+}

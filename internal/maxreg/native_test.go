@@ -1,0 +1,85 @@
+package maxreg
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"slmem/internal/memory"
+)
+
+// TestNativeConcurrentMonotone drives the trie with real goroutines (run
+// with -race): the observed maximum must never decrease, values read must
+// have been written, and payloads must match their values.
+func TestNativeConcurrentMonotone(t *testing.T) {
+	const writers, writes = 4, 300
+	var alloc memory.NativeAllocator
+	m := NewUnbounded[string](&alloc, "p0")
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= writes; i++ {
+				v := uint64(i*writers + w)
+				if err := m.MaxWrite(w, v, "p"+strconv.FormatUint(v, 10)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// A reader validates monotonicity and payload consistency concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for i := 0; i < 2000; i++ {
+			v, pl := m.MaxRead(writers)
+			if v < last {
+				t.Errorf("max regressed %d -> %d", last, v)
+				return
+			}
+			if v > 0 && pl != "p"+strconv.FormatUint(v, 10) {
+				t.Errorf("payload mismatch: value %d carries %q", v, pl)
+				return
+			}
+			last = v
+		}
+	}()
+	wg.Wait()
+
+	want := uint64(writes*writers + writers - 1)
+	if got, _ := m.MaxRead(0); got != want {
+		t.Errorf("final max = %d, want %d", got, want)
+	}
+}
+
+// TestNativeConcurrentSamePayloadValue: concurrent writes of the SAME value
+// carry the same payload (the versioned-construction invariant), so reads
+// can never observe a torn (value, payload) pair.
+func TestNativeConcurrentSamePayloadValue(t *testing.T) {
+	const procs = 4
+	var alloc memory.NativeAllocator
+	m := NewBounded[string](&alloc, 12, "init")
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for v := uint64(1); v <= 500; v++ {
+				if err := m.MaxWrite(p, v, "s"+strconv.FormatUint(v, 10)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	v, pl := m.MaxRead(0)
+	if v != 500 || pl != "s500" {
+		t.Errorf("final = (%d,%q), want (500,s500)", v, pl)
+	}
+}

@@ -1,0 +1,192 @@
+// Package memory provides the shared-memory base objects of the paper's
+// model: atomic multi-reader multi-writer registers.
+//
+// Algorithms are written once against the Register interface and an
+// Allocator, and run in two modes:
+//
+//   - native: registers are sync/atomic pointers (a hardware atomic load or
+//     store of a pointer is an atomic register), used by examples, soak
+//     tests, and benchmarks;
+//   - simulated: registers are owned by the deterministic scheduler in
+//     internal/sched, where each access is one scheduled step.
+//
+// Every Register method takes the id of the calling process. Native
+// registers ignore it; simulated registers use it to attribute the step and
+// to block the caller until the adversary schedules it.
+package memory
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Register is an atomic multi-reader multi-writer register.
+//
+// Values written to a register must be treated as immutable: the register
+// stores them verbatim and may hand the same value to many readers.
+type Register interface {
+	// Read returns the current value, as a step of process pid.
+	Read(pid int) any
+	// Write replaces the current value, as a step of process pid.
+	Write(pid int, v any)
+	// Name returns the register's allocation name (for transcripts).
+	Name() string
+}
+
+// Allocator creates registers. Implementations count allocations so that
+// space-complexity experiments can report register usage.
+type Allocator interface {
+	// NewRegister returns a fresh register initialized to init. The name
+	// appears in transcripts and space reports; allocators may suffix it to
+	// keep names unique.
+	NewRegister(name string, init any) Register
+	// Registers returns the number of registers allocated so far.
+	Registers() int
+}
+
+// --- Native registers --------------------------------------------------------
+
+type nativeRegister struct {
+	name string
+	v    atomic.Pointer[any]
+}
+
+var _ Register = (*nativeRegister)(nil)
+
+func (r *nativeRegister) Read(int) any {
+	return *r.v.Load()
+}
+
+func (r *nativeRegister) Write(_ int, v any) {
+	r.v.Store(&v)
+}
+
+func (r *nativeRegister) Name() string { return r.name }
+
+// NativeAllocator allocates registers backed by sync/atomic. The zero value
+// is ready to use. It is safe for concurrent use.
+type NativeAllocator struct {
+	count atomic.Int64
+}
+
+var _ Allocator = (*NativeAllocator)(nil)
+
+// NewRegister implements Allocator.
+func (a *NativeAllocator) NewRegister(name string, init any) Register {
+	a.count.Add(1)
+	r := &nativeRegister{name: name}
+	r.v.Store(&init)
+	return r
+}
+
+// Registers implements Allocator.
+func (a *NativeAllocator) Registers() int { return int(a.count.Load()) }
+
+// --- Step counting -----------------------------------------------------------
+
+// StepCounter counts shared-memory steps per process. It is safe for
+// concurrent use.
+type StepCounter struct {
+	reads  []atomic.Int64
+	writes []atomic.Int64
+}
+
+// NewStepCounter returns a counter for n processes.
+func NewStepCounter(n int) *StepCounter {
+	return &StepCounter{
+		reads:  make([]atomic.Int64, n),
+		writes: make([]atomic.Int64, n),
+	}
+}
+
+// Reads returns the number of register reads by pid.
+func (c *StepCounter) Reads(pid int) int64 { return c.reads[pid].Load() }
+
+// Writes returns the number of register writes by pid.
+func (c *StepCounter) Writes(pid int) int64 { return c.writes[pid].Load() }
+
+// Steps returns reads+writes by pid.
+func (c *StepCounter) Steps(pid int) int64 { return c.Reads(pid) + c.Writes(pid) }
+
+// TotalSteps returns reads+writes across all processes.
+func (c *StepCounter) TotalSteps() int64 {
+	var sum int64
+	for i := range c.reads {
+		sum += c.reads[i].Load() + c.writes[i].Load()
+	}
+	return sum
+}
+
+// Reset zeroes all counters.
+func (c *StepCounter) Reset() {
+	for i := range c.reads {
+		c.reads[i].Store(0)
+		c.writes[i].Store(0)
+	}
+}
+
+type countingRegister struct {
+	inner Register
+	c     *StepCounter
+}
+
+var _ Register = (*countingRegister)(nil)
+
+func (r *countingRegister) Read(pid int) any {
+	r.c.reads[pid].Add(1)
+	return r.inner.Read(pid)
+}
+
+func (r *countingRegister) Write(pid int, v any) {
+	r.c.writes[pid].Add(1)
+	r.inner.Write(pid, v)
+}
+
+func (r *countingRegister) Name() string { return r.inner.Name() }
+
+// CountingAllocator decorates an Allocator so that every register it hands
+// out counts steps into Counter.
+type CountingAllocator struct {
+	Inner   Allocator
+	Counter *StepCounter
+}
+
+var _ Allocator = (*CountingAllocator)(nil)
+
+// NewRegister implements Allocator.
+func (a *CountingAllocator) NewRegister(name string, init any) Register {
+	return &countingRegister{inner: a.Inner.NewRegister(name, init), c: a.Counter}
+}
+
+// Registers implements Allocator.
+func (a *CountingAllocator) Registers() int { return a.Inner.Registers() }
+
+// --- Typed wrapper -----------------------------------------------------------
+
+// Reg is a typed view over an untyped Register. The zero value is unusable;
+// construct with NewReg.
+type Reg[V any] struct {
+	r Register
+}
+
+// NewReg allocates a register holding values of type V, initialized to init.
+func NewReg[V any](a Allocator, name string, init V) Reg[V] {
+	return Reg[V]{r: a.NewRegister(name, init)}
+}
+
+// Read returns the current value as a step of process pid.
+func (t Reg[V]) Read(pid int) V {
+	v, ok := t.r.Read(pid).(V)
+	if !ok {
+		// Registers are allocated typed and only written through this
+		// wrapper, so this indicates memory corruption or API misuse.
+		panic(fmt.Sprintf("memory: register %s holds %T, want %T", t.r.Name(), t.r.Read(pid), v))
+	}
+	return v
+}
+
+// Write stores v as a step of process pid.
+func (t Reg[V]) Write(pid int, v V) { t.r.Write(pid, v) }
+
+// Name returns the underlying register name.
+func (t Reg[V]) Name() string { return t.r.Name() }

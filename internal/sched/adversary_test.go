@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slmem/internal/trace"
+)
+
+func TestStormPrefersNonVictims(t *testing.T) {
+	s := &Storm{IsVictim: func(pid int) bool { return pid == 0 }, Period: 4}
+	picks := make(map[int]int)
+	for i := 0; i < 100; i++ {
+		picks[s.Next([]int{0, 1, 2}, nil)]++
+	}
+	if picks[0] == 0 {
+		t.Error("victim never scheduled — starvation must be partial (Period)")
+	}
+	if picks[0] >= picks[1]+picks[2] {
+		t.Errorf("victim scheduled too often: %v", picks)
+	}
+	// With only the victim enabled, it must be scheduled.
+	if got := s.Next([]int{0}, nil); got != 0 {
+		t.Errorf("sole enabled process not scheduled: %d", got)
+	}
+}
+
+func TestStormDefaultPeriod(t *testing.T) {
+	s := &Storm{IsVictim: func(pid int) bool { return pid == 0 }}
+	sawVictim := false
+	for i := 0; i < 10; i++ {
+		if s.Next([]int{0, 1}, nil) == 0 {
+			sawVictim = true
+		}
+	}
+	if !sawVictim {
+		t.Error("default period starved the victim entirely")
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	rr := &RoundRobin{}
+	picks := make(map[int]int)
+	for i := 0; i < 300; i++ {
+		picks[rr.Next([]int{0, 1, 2}, nil)]++
+	}
+	for pid := 0; pid < 3; pid++ {
+		if picks[pid] != 100 {
+			t.Errorf("pid %d scheduled %d times, want 100", pid, picks[pid])
+		}
+	}
+}
+
+func TestRoundRobinSkipsDisabled(t *testing.T) {
+	rr := &RoundRobin{}
+	for i := 0; i < 10; i++ {
+		if got := rr.Next([]int{1, 3}, nil); got != 1 && got != 3 {
+			t.Fatalf("scheduled disabled pid %d", got)
+		}
+	}
+}
+
+func TestChainHandsOver(t *testing.T) {
+	c := NewChain(NewScript(0, 0), NewScript(1))
+	want := []int{0, 0, 1, -1}
+	for i, w := range want {
+		if got := c.Next([]int{0, 1}, nil); got != w {
+			t.Fatalf("step %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestScriptExhaustion(t *testing.T) {
+	s := NewScript(2)
+	if got := s.Next([]int{2}, nil); got != 2 {
+		t.Fatalf("got %d", got)
+	}
+	if got := s.Next([]int{2}, nil); got != -1 {
+		t.Fatalf("exhausted script returned %d, want -1", got)
+	}
+}
+
+func TestScriptCopiesInput(t *testing.T) {
+	pids := []int{0, 1}
+	s := NewScript(pids...)
+	pids[0] = 9
+	if got := s.Next([]int{0, 1}, nil); got != 0 {
+		t.Errorf("script shares caller storage: got %d", got)
+	}
+}
+
+func TestAdversaryFunc(t *testing.T) {
+	var sawTranscript *trace.Transcript
+	f := AdversaryFunc(func(enabled []int, tr *trace.Transcript) int {
+		sawTranscript = tr
+		return enabled[len(enabled)-1]
+	})
+	tr := &trace.Transcript{}
+	if got := f.Next([]int{3, 5}, tr); got != 5 {
+		t.Errorf("got %d", got)
+	}
+	if sawTranscript != tr {
+		t.Error("transcript not passed through")
+	}
+}
+
+// Property: Seeded adversaries always pick an enabled pid.
+func TestSeededPicksEnabled(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		adv := NewSeeded(seed)
+		enabled := []int{2, 4, 7}
+		for range raw {
+			pick := adv.Next(enabled, nil)
+			if pick != 2 && pick != 4 && pick != 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnabledSortedForAdversary: the scheduler must present enabled pids in
+// ascending order (adversaries may rely on it).
+func TestEnabledSortedForAdversary(t *testing.T) {
+	sys := regSystem(4, 1)
+	sorted := true
+	adv := AdversaryFunc(func(enabled []int, _ *trace.Transcript) int {
+		for i := 1; i < len(enabled); i++ {
+			if enabled[i-1] >= enabled[i] {
+				sorted = false
+			}
+		}
+		return enabled[0]
+	})
+	res := Run(sys, adv, Options{})
+	if !res.Completed() {
+		t.Fatalf("incomplete: %v", res.Err)
+	}
+	if !sorted {
+		t.Error("enabled list not sorted ascending")
+	}
+}
+
+// TestScheduleMatchesSteps: Result.Schedule replays to the identical
+// transcript.
+func TestScheduleMatchesSteps(t *testing.T) {
+	res := Run(regSystem(3, 2), NewSeeded(99), Options{})
+	if !res.Completed() {
+		t.Fatalf("incomplete: %v", res.Err)
+	}
+	if len(res.Schedule) != res.Steps {
+		t.Fatalf("schedule length %d != steps %d", len(res.Schedule), res.Steps)
+	}
+	replay := RunScript(regSystem(3, 2), res.Schedule, Options{})
+	if replay.Err != nil {
+		t.Fatal(replay.Err)
+	}
+	if len(replay.T.Events) != len(res.T.Events) {
+		t.Fatalf("replay produced %d events, original %d", len(replay.T.Events), len(res.T.Events))
+	}
+	for i := range replay.T.Events {
+		if replay.T.Events[i] != res.T.Events[i] {
+			t.Fatalf("replay diverges at event %d", i)
+		}
+	}
+}

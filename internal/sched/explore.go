@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"slmem/internal/trace"
+)
+
+// ErrTooManyNodes is returned by Explore when the transcript tree exceeds
+// the node budget.
+var ErrTooManyNodes = errors.New("sched: exploration exceeded node budget")
+
+// TreeNode is a node of a prefix-closed transcript tree: its transcript is a
+// prefix of every descendant's transcript. Strong linearizability is a
+// property of such trees (the prefix closure of the implementation's
+// transcript set), which is what internal/lincheck checks.
+type TreeNode struct {
+	// Schedule is the adversary choice sequence producing this node.
+	Schedule []int
+	// T is the transcript after running Schedule.
+	T *trace.Transcript
+	// Enabled lists processes that can extend this node.
+	Enabled []int
+	// Children, one per explored extension.
+	Children []*TreeNode
+}
+
+// RunScript runs the system along an exact schedule and stops, reporting the
+// processes still enabled. Scheduling a disabled process is an error.
+func RunScript(sys System, schedule []int, opts Options) *Result {
+	return Run(sys, NewScript(schedule...), opts)
+}
+
+// RunToCompletion runs the schedule prefix, then round-robin until all
+// programs finish.
+func RunToCompletion(sys System, prefix []int, opts Options) *Result {
+	return Run(sys, NewChain(NewScript(prefix...), &RoundRobin{}), opts)
+}
+
+// Explore builds the full transcript tree of the system: the root is the
+// empty run, and every node has one child per enabled process. maxDepth
+// bounds schedule length (0 = unlimited); maxNodes bounds total tree size.
+//
+// Each node replays the system from scratch (runs are deterministic), so the
+// cost is O(nodes × depth) steps. Use only on small systems.
+func Explore(sys System, maxDepth, maxNodes int, opts Options) (*TreeNode, error) {
+	budget := maxNodes
+	var build func(schedule []int) (*TreeNode, error)
+	build = func(schedule []int) (*TreeNode, error) {
+		if budget <= 0 {
+			return nil, fmt.Errorf("%w (max %d)", ErrTooManyNodes, maxNodes)
+		}
+		budget--
+		res := RunScript(sys, schedule, opts)
+		if res.Err != nil {
+			return nil, fmt.Errorf("sched: explore replay %v: %w", schedule, res.Err)
+		}
+		node := &TreeNode{
+			Schedule: append([]int(nil), schedule...),
+			T:        res.T,
+			Enabled:  res.Enabled,
+		}
+		if maxDepth > 0 && len(schedule) >= maxDepth {
+			return node, nil
+		}
+		for _, pid := range res.Enabled {
+			child, err := build(append(append([]int(nil), schedule...), pid))
+			if err != nil {
+				return nil, err
+			}
+			node.Children = append(node.Children, child)
+		}
+		return node, nil
+	}
+	return build(nil)
+}
+
+// PrefixTree runs the system along prefix, then along prefix+continuation
+// for each continuation, and returns the two-level tree. This is how the
+// Observation 4 scenario {S, T1, T2} is materialized: S is the prefix and
+// T1, T2 are the continuations.
+func PrefixTree(sys System, prefix []int, continuations [][]int, opts Options) (*TreeNode, error) {
+	root := RunScript(sys, prefix, opts)
+	if root.Err != nil {
+		return nil, fmt.Errorf("sched: prefix run: %w", root.Err)
+	}
+	node := &TreeNode{
+		Schedule: append([]int(nil), prefix...),
+		T:        root.T,
+		Enabled:  root.Enabled,
+	}
+	for i, cont := range continuations {
+		full := make([]int, 0, len(prefix)+len(cont))
+		full = append(full, prefix...)
+		full = append(full, cont...)
+		res := RunScript(sys, full, opts)
+		if res.Err != nil {
+			return nil, fmt.Errorf("sched: continuation %d: %w", i, res.Err)
+		}
+		if !node.T.IsPrefixOf(res.T) {
+			return nil, fmt.Errorf("sched: continuation %d does not extend the prefix transcript (nondeterministic system?)", i)
+		}
+		node.Children = append(node.Children, &TreeNode{
+			Schedule: full,
+			T:        res.T,
+			Enabled:  res.Enabled,
+		})
+	}
+	return node, nil
+}

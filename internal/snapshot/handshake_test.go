@@ -1,0 +1,293 @@
+package snapshot
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"slmem/internal/lincheck"
+	"slmem/internal/memory"
+	"slmem/internal/sched"
+	"slmem/internal/spec"
+	"slmem/internal/trace"
+)
+
+func TestHandshakeRegisterCount(t *testing.T) {
+	// The whole point of the handshake variant: a FIXED number of registers
+	// holding bounded values — n components + 2n² handshake bits.
+	for _, n := range []int{1, 2, 4, 8} {
+		var alloc memory.NativeAllocator
+		NewHandshake[string](&alloc, n, spec.Bot)
+		want := n + 2*n*n
+		if got := alloc.Registers(); got != want {
+			t.Errorf("n=%d: registers = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestHandshakeNoAllocationAfterConstruction(t *testing.T) {
+	var alloc memory.NativeAllocator
+	s := NewHandshake[string](&alloc, 3, spec.Bot)
+	base := alloc.Registers()
+	for i := 0; i < 100; i++ {
+		s.Update(i%3, fmt.Sprintf("v%d", i))
+		s.Scan((i + 1) % 3)
+	}
+	if got := alloc.Registers(); got != base {
+		t.Errorf("registers grew %d -> %d; bounded-space property broken", base, got)
+	}
+}
+
+func TestHandshakeToggleAlternates(t *testing.T) {
+	var alloc memory.NativeAllocator
+	s := NewHandshake[string](&alloc, 2, spec.Bot)
+	prev := s.regs[0].Read(0).toggle
+	for i := 0; i < 5; i++ {
+		s.Update(0, fmt.Sprintf("v%d", i))
+		cur := s.regs[0].Read(0).toggle
+		if cur == prev {
+			t.Fatalf("toggle did not flip on update %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestHandshakeSequentialProperty(t *testing.T) {
+	const n = 3
+	f := func(script []uint8) bool {
+		var alloc memory.NativeAllocator
+		s := NewHandshake[string](&alloc, n, spec.Bot)
+		sp := spec.Snapshot{N: n}
+		state := sp.Initial()
+		for i, b := range script {
+			pid := int(b) % n
+			if b%2 == 0 {
+				x := fmt.Sprintf("v%d", i)
+				s.Update(pid, x)
+				state, _, _ = sp.Apply(state, pid, spec.FormatInvocation("update", x))
+			} else {
+				got := spec.FormatView(s.Scan(pid))
+				_, want, _ := sp.Apply(state, pid, "scan()")
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func handshakeSystem(n, updates, scans int) sched.System {
+	return sched.System{
+		N: n,
+		Setup: func(env *sched.Env) []sched.Program {
+			s := NewHandshake[string](env, n, spec.Bot)
+			progs := make([]sched.Program, n)
+			for pid := 0; pid < n; pid++ {
+				pid := pid
+				if pid%2 == 1 {
+					progs[pid] = func(p *sched.Proc) {
+						for i := 0; i < updates; i++ {
+							x := fmt.Sprintf("u%d.%d", pid, i)
+							p.Do(spec.FormatInvocation("update", x), func() string {
+								s.Update(pid, x)
+								return "ok"
+							})
+						}
+					}
+				} else {
+					progs[pid] = func(p *sched.Proc) {
+						for i := 0; i < scans; i++ {
+							p.Do("scan()", func() string {
+								return spec.FormatView(s.Scan(pid))
+							})
+						}
+					}
+				}
+			}
+			return progs
+		},
+	}
+}
+
+// TestHandshakeLinearizableManySeeds hammers the trickiest implementation in
+// the package with many random schedules — the borrow path in particular is
+// reached when updates interleave scans tightly.
+func TestHandshakeLinearizableManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		res := sched.Run(handshakeSystem(3, 3, 2), sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckTranscript(res.T, spec.Snapshot{N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: not linearizable:\n%s", seed, res.T.Interpreted())
+		}
+	}
+}
+
+// TestHandshakeScanWaitFreeUnderStorm: unlike the double-collect scan, a
+// handshake scan completes in a bounded number of its own steps even while
+// writers run forever — the scanner borrows an embedded view.
+func TestHandshakeScanWaitFreeUnderStorm(t *testing.T) {
+	const n = 3
+	const writerOps = 25 // keeps the history within the checker's 62-op cap
+	sys := sched.System{
+		N: n,
+		Setup: func(env *sched.Env) []sched.Program {
+			s := NewHandshake[string](env, n, spec.Bot)
+			progs := make([]sched.Program, n)
+			progs[0] = func(p *sched.Proc) {
+				p.Do("scan()", func() string {
+					return spec.FormatView(s.Scan(0))
+				})
+			}
+			for pid := 1; pid < n; pid++ {
+				pid := pid
+				progs[pid] = func(p *sched.Proc) {
+					for i := 0; i < writerOps; i++ {
+						x := fmt.Sprintf("u%d.%d", pid, i)
+						p.Do(spec.FormatInvocation("update", x), func() string {
+							s.Update(pid, x)
+							return "ok"
+						})
+					}
+				}
+			}
+			return progs
+		},
+	}
+	res := sched.Run(sys, &sched.Storm{IsVictim: func(pid int) bool { return pid == 0 }, Period: 4},
+		sched.Options{})
+	if !res.Completed() {
+		t.Fatalf("incomplete: %v", res.Err)
+	}
+	if scanReturnIndex(res.T) > lastWriterReturnIndex(res.T) {
+		t.Error("handshake scan starved until writers finished — wait-freedom (helping) failed")
+	}
+	chk, err := lincheck.CheckTranscript(res.T, spec.Snapshot{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Ok {
+		t.Fatal("storm run not linearizable")
+	}
+}
+
+// TestHandshakeStaleBorrowRegression targets the unsound-borrow scenario: an
+// update U0 starts BEFORE the scan, completes inside it (toggle-only
+// evidence), then a second update U1 starts (handshake evidence). Borrowing
+// at that moment would return U0's stale embedded view. The scan must not
+// borrow until evidence of a write from an update that began inside it.
+func TestHandshakeStaleBorrowRegression(t *testing.T) {
+	// p0: scanner (1 scan); p1: updater (3 updates); p2: updater whose
+	// update completes before the scan starts, making U0's embedded view
+	// stale relative to it.
+	sys := sched.System{
+		N: 3,
+		Setup: func(env *sched.Env) []sched.Program {
+			s := NewHandshake[string](env, 3, spec.Bot)
+			return []sched.Program{
+				func(p *sched.Proc) {
+					p.Do("scan()", func() string {
+						return spec.FormatView(s.Scan(0))
+					})
+				},
+				func(p *sched.Proc) {
+					for i := 0; i < 3; i++ {
+						x := fmt.Sprintf("a%d", i)
+						p.Do(spec.FormatInvocation("update", x), func() string {
+							s.Update(1, x)
+							return "ok"
+						})
+					}
+				},
+				func(p *sched.Proc) {
+					p.Do("update(z)", func() string {
+						s.Update(2, "z")
+						return "ok"
+					})
+				},
+			}
+		},
+	}
+	// Drive many interleavings biased to overlap U0's tail with the scan.
+	for seed := int64(0); seed < 80; seed++ {
+		res := sched.Run(sys, sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckTranscript(res.T, spec.Snapshot{N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: stale borrow suspected — not linearizable:\n%s", seed, res.T.Interpreted())
+		}
+	}
+}
+
+// TestHandshakeChainMonitor: the substrate itself need not be strongly
+// linearizable, but every single run must still admit a monotone
+// linearization (a property of all linearizable objects on chains our
+// monitor can certify when it holds).
+func TestHandshakeChainMonitor(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		res := sched.Run(handshakeSystem(2, 2, 2), sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckChain(res.T, spec.Snapshot{N: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Logf("seed %d: no monotone linearization along this run (allowed for a merely linearizable substrate)", seed)
+		}
+	}
+}
+
+// TestHandshakeScanStepBound: a scan takes O(n) rounds of O(n) steps each,
+// regardless of how many writes interleave (wait-freedom, quantitative).
+func TestHandshakeScanStepBound(t *testing.T) {
+	const n = 3
+	for seed := int64(0); seed < 30; seed++ {
+		res := sched.Run(handshakeSystem(n, 6, 2), sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		// Upper bound: handshake (2n) + rounds (<= 2n+2) * collect pair (4n)
+		// steps, generously padded.
+		limit := 2*n + (2*n+2)*4*n
+		stats := scanSteps(res.T)
+		if stats > limit {
+			t.Errorf("seed %d: a scan took %d steps, bound %d", seed, stats, limit)
+		}
+	}
+}
+
+func scanSteps(tr *trace.Transcript) int {
+	perOp := make(map[int]int)
+	desc := make(map[int]string)
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindInvoke:
+			desc[e.OpID] = e.Desc
+		case trace.KindRead, trace.KindWrite:
+			perOp[e.OpID]++
+		}
+	}
+	max := 0
+	for id, d := range desc {
+		if d == "scan()" && perOp[id] > max {
+			max = perOp[id]
+		}
+	}
+	return max
+}

@@ -1,0 +1,223 @@
+// Package snapshot provides linearizable single-writer snapshot objects
+// built from atomic registers. These are the substrate "S" of the paper's
+// Algorithm 3/4 (Section 4.3), which treats S as a black-box linearizable
+// snapshot ("any lock-free or wait-free linearizable implementation").
+//
+// Two classic implementations are provided:
+//
+//   - DoubleCollect: the lock-free clean-double-collect algorithm of Afek,
+//     Attiya, Dolev, Gafni, Merritt, and Shavit. A scan repeatedly collects
+//     all components until two consecutive collects agree.
+//   - Afek: the wait-free variant with embedded scans (helping): an updater
+//     first performs a scan and publishes the view with its write, and a
+//     scanner that observes some process move twice borrows that process's
+//     published view.
+//
+// The paper uses the bounded Attiya–Rachman snapshot for concrete space
+// bounds; both algorithms here are behaviourally interchangeable with it as
+// the substrate (see DESIGN.md, "Model mismatch and substitutions").
+//
+// A Versioned wrapper exposes the per-scan version number (the sum of the
+// per-component sequence numbers) needed by the Denysyuk–Woelfel unbounded
+// construction of Section 4.1 (internal/versioned).
+package snapshot
+
+import (
+	"fmt"
+
+	"slmem/internal/memory"
+)
+
+// Snapshot is a linearizable single-writer snapshot object: component p is
+// writable only by process p, and Scan returns a consistent view of all
+// components.
+type Snapshot[V any] interface {
+	// Update sets component pid to x.
+	Update(pid int, x V)
+	// Scan returns a copy of the component vector.
+	Scan(pid int) []V
+}
+
+// dcell is a snapshot component: the value and the writer's sequence number.
+type dcell[V any] struct {
+	val V
+	seq uint64
+}
+
+// DoubleCollect is the lock-free clean-double-collect snapshot.
+type DoubleCollect[V any] struct {
+	n    int
+	regs []memory.Reg[dcell[V]]
+	seq  []uint64 // local per-writer sequence numbers
+}
+
+var _ Snapshot[int] = (*DoubleCollect[int])(nil)
+
+// NewDoubleCollect constructs a lock-free snapshot with n components, all
+// initialized to initial.
+func NewDoubleCollect[V any](alloc memory.Allocator, n int, initial V) *DoubleCollect[V] {
+	if n < 1 {
+		panic(fmt.Sprintf("snapshot: n = %d, need at least 1 process", n))
+	}
+	s := &DoubleCollect[V]{
+		n:    n,
+		regs: make([]memory.Reg[dcell[V]], n),
+		seq:  make([]uint64, n),
+	}
+	for i := range s.regs {
+		s.regs[i] = memory.NewReg(alloc, fmt.Sprintf("snap.R[%d]", i), dcell[V]{val: initial})
+	}
+	return s
+}
+
+// Update implements Snapshot: one shared write.
+func (s *DoubleCollect[V]) Update(pid int, x V) {
+	s.seq[pid]++
+	s.regs[pid].Write(pid, dcell[V]{val: x, seq: s.seq[pid]})
+}
+
+func (s *DoubleCollect[V]) collect(pid int) []dcell[V] {
+	out := make([]dcell[V], s.n)
+	for i := range s.regs {
+		out[i] = s.regs[i].Read(pid)
+	}
+	return out
+}
+
+func seqsEqual[V any](a, b []dcell[V]) bool {
+	for i := range a {
+		// Sequence numbers identify writes: a component with an unchanged
+		// sequence number has an unchanged value.
+		if a[i].seq != b[i].seq {
+			return false
+		}
+	}
+	return true
+}
+
+func values[V any](cells []dcell[V]) []V {
+	out := make([]V, len(cells))
+	for i, c := range cells {
+		out[i] = c.val
+	}
+	return out
+}
+
+// Scan implements Snapshot: collect until two consecutive collects agree
+// (a "clean double collect"). Lock-free: a failed pair of collects means a
+// concurrent Update completed.
+func (s *DoubleCollect[V]) Scan(pid int) []V {
+	c1 := s.collect(pid)
+	for {
+		c2 := s.collect(pid)
+		if seqsEqual(c1, c2) {
+			return values(c2)
+		}
+		c1 = c2
+	}
+}
+
+// ScanVersioned is Scan returning also the view's version: the sum of all
+// component sequence numbers, which increases with every Update (the
+// versioned-object interface of paper Section 4.1).
+func (s *DoubleCollect[V]) ScanVersioned(pid int) ([]V, uint64) {
+	c1 := s.collect(pid)
+	for {
+		c2 := s.collect(pid)
+		if seqsEqual(c1, c2) {
+			var version uint64
+			for _, c := range c2 {
+				version += c.seq
+			}
+			return values(c2), version
+		}
+		c1 = c2
+	}
+}
+
+// acell is an Afek-snapshot component: value, sequence number, and the view
+// the updater embedded with its write.
+type acell[V any] struct {
+	val  V
+	seq  uint64
+	view []V // immutable once written
+}
+
+// Afek is the wait-free snapshot with embedded scans.
+type Afek[V any] struct {
+	n    int
+	regs []memory.Reg[acell[V]]
+	seq  []uint64
+}
+
+var _ Snapshot[int] = (*Afek[int])(nil)
+
+// NewAfek constructs a wait-free snapshot with n components, all initialized
+// to initial.
+func NewAfek[V any](alloc memory.Allocator, n int, initial V) *Afek[V] {
+	if n < 1 {
+		panic(fmt.Sprintf("snapshot: n = %d, need at least 1 process", n))
+	}
+	s := &Afek[V]{
+		n:    n,
+		regs: make([]memory.Reg[acell[V]], n),
+		seq:  make([]uint64, n),
+	}
+	for i := range s.regs {
+		s.regs[i] = memory.NewReg(alloc, fmt.Sprintf("snap.A[%d]", i), acell[V]{val: initial})
+	}
+	return s
+}
+
+// Update implements Snapshot: an embedded Scan followed by one write that
+// publishes the new value together with the scanned view.
+func (s *Afek[V]) Update(pid int, x V) {
+	view := s.Scan(pid)
+	s.seq[pid]++
+	s.regs[pid].Write(pid, acell[V]{val: x, seq: s.seq[pid], view: view})
+}
+
+func (s *Afek[V]) collect(pid int) []acell[V] {
+	out := make([]acell[V], s.n)
+	for i := range s.regs {
+		out[i] = s.regs[i].Read(pid)
+	}
+	return out
+}
+
+// Scan implements Snapshot. Wait-free: after at most n+1 collect pairs some
+// process has been seen to move twice, and its embedded view (which is a
+// valid snapshot taken within our interval) is borrowed.
+func (s *Afek[V]) Scan(pid int) []V {
+	moved := make([]bool, s.n)
+	c1 := s.collect(pid)
+	for {
+		c2 := s.collect(pid)
+		clean := true
+		for q := 0; q < s.n; q++ {
+			if c1[q].seq != c2[q].seq {
+				clean = false
+				if moved[q] {
+					// q performed two Updates during this Scan; its second
+					// embedded view was taken entirely inside our interval.
+					out := make([]V, len(c2[q].view))
+					copy(out, c2[q].view)
+					return out
+				}
+				moved[q] = true
+			}
+		}
+		if clean {
+			return avalues(c2)
+		}
+		c1 = c2
+	}
+}
+
+func avalues[V any](cells []acell[V]) []V {
+	out := make([]V, len(cells))
+	for i, c := range cells {
+		out[i] = c.val
+	}
+	return out
+}

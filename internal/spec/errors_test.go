@@ -1,0 +1,96 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestBadInvocationsRejected drives the error paths of every specification.
+func TestBadInvocationsRejected(t *testing.T) {
+	tests := []struct {
+		s    Spec
+		pid  int
+		desc string
+	}{
+		{Register{}, 0, "write()"},         // missing arg
+		{Register{}, 0, "destroy()"},       // unknown op
+		{ABARegister{N: 2}, 0, "DWrite()"}, /* missing arg */
+		{ABARegister{N: 2}, 0, "bogus()"},
+		{Snapshot{N: 2}, 0, "update()"},
+		{Snapshot{N: 2}, 0, "nope()"},
+		{Counter{}, 0, "dec()"},
+		{MaxRegister{}, 0, "maxWrite()"},
+		{MaxRegister{}, 0, "maxWrite(notanumber)"},
+		{MaxRegister{}, 0, "pop()"},
+		{Set{}, 0, "add()"},
+		{Set{}, 0, "contains()"},
+		{Set{}, 0, "clear()"},
+		{Accumulator{}, 0, "addTo()"},
+		{Accumulator{}, 0, "addTo(xyz)"},
+		{Accumulator{}, 0, "mul(2)"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.s.Name()+"/"+tc.desc, func(t *testing.T) {
+			if _, _, err := tc.s.Apply(tc.s.Initial(), tc.pid, tc.desc); err == nil {
+				t.Errorf("%s accepted %q", tc.s.Name(), tc.desc)
+			}
+		})
+	}
+}
+
+func TestErrBadInvocationWrapped(t *testing.T) {
+	_, _, err := Counter{}.Apply("0", 0, "dec()")
+	if !errors.Is(err, ErrBadInvocation) {
+		t.Errorf("err = %v, want ErrBadInvocation", err)
+	}
+}
+
+func TestMalformedInvocationSyntax(t *testing.T) {
+	specs := []Spec{Register{}, ABARegister{N: 1}, Snapshot{N: 1}, Counter{}, MaxRegister{}, Set{}, Accumulator{}}
+	for _, s := range specs {
+		if _, _, err := s.Apply(s.Initial(), 0, "broken(unclosed"); err == nil {
+			t.Errorf("%s accepted malformed syntax", s.Name())
+		}
+	}
+}
+
+func TestABAPidRange(t *testing.T) {
+	s := ABARegister{N: 2}
+	if _, _, err := s.Apply(s.Initial(), 5, "DRead()"); err == nil {
+		t.Error("out-of-range pid accepted")
+	}
+	if _, _, err := s.Apply(s.Initial(), -1, "DRead()"); err == nil {
+		t.Error("negative pid accepted")
+	}
+}
+
+func TestSpecNames(t *testing.T) {
+	tests := map[string]Spec{
+		"register":      Register{},
+		"aba(n=3)":      ABARegister{N: 3},
+		"snapshot(n=2)": Snapshot{N: 2},
+		"counter":       Counter{},
+		"maxreg":        MaxRegister{},
+		"set":           Set{},
+		"accumulator":   Accumulator{},
+	}
+	for want, s := range tests {
+		if got := s.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCounterMalformedArgs(t *testing.T) {
+	// Counter read/inc ignore args per ParseInvocation; malformed STATE is
+	// the error path here.
+	if _, _, err := (Counter{}).Apply("not-a-number", 0, "inc()"); err == nil {
+		t.Error("malformed counter state accepted")
+	}
+	if _, _, err := (MaxRegister{}).Apply("-3", 0, "maxRead()"); err == nil {
+		t.Error("negative maxreg state accepted")
+	}
+	if _, _, err := (Accumulator{}).Apply("zz", 0, "read()"); err == nil {
+		t.Error("malformed accumulator state accepted")
+	}
+}

@@ -1,0 +1,316 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustApply(t *testing.T, s Spec, state string, pid int, desc string) (string, string) {
+	t.Helper()
+	next, resp, err := s.Apply(state, pid, desc)
+	if err != nil {
+		t.Fatalf("%s.Apply(%q, %d, %q): %v", s.Name(), state, pid, desc, err)
+	}
+	return next, resp
+}
+
+func TestParseInvocation(t *testing.T) {
+	tests := []struct {
+		desc     string
+		wantName string
+		wantArgs []string
+		wantErr  bool
+	}{
+		{"write(5)", "write", []string{"5"}, false},
+		{"scan()", "scan", nil, false},
+		{"read", "read", nil, false},
+		{"f(a,b,c)", "f", []string{"a", "b", "c"}, false},
+		{"broken(", "", nil, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.desc, func(t *testing.T) {
+			name, args, err := ParseInvocation(tc.desc)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name != tc.wantName {
+				t.Errorf("name = %q, want %q", name, tc.wantName)
+			}
+			if fmt.Sprint(args) != fmt.Sprint(tc.wantArgs) {
+				t.Errorf("args = %v, want %v", args, tc.wantArgs)
+			}
+		})
+	}
+}
+
+func TestFormatInvocationRoundTrip(t *testing.T) {
+	f := func(nameRaw string, args []string) bool {
+		name := strings.Map(func(r rune) rune {
+			if r == '(' || r == ')' || r == ',' {
+				return 'x'
+			}
+			return r
+		}, nameRaw)
+		if name == "" {
+			name = "op"
+		}
+		clean := make([]string, 0, len(args))
+		for _, a := range args {
+			a = strings.Map(func(r rune) rune {
+				if r == '(' || r == ')' || r == ',' {
+					return 'x'
+				}
+				return r
+			}, a)
+			if a == "" {
+				a = "v"
+			}
+			clean = append(clean, a)
+		}
+		desc := FormatInvocation(name, clean...)
+		gotName, gotArgs, err := ParseInvocation(desc)
+		if err != nil || gotName != name {
+			return false
+		}
+		return fmt.Sprint(gotArgs) == fmt.Sprint(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := Register{}
+	st := r.Initial()
+	if _, resp := mustApply(t, r, st, 0, "read()"); resp != Bot {
+		t.Errorf("initial read = %q, want %q", resp, Bot)
+	}
+	st, _ = mustApply(t, r, st, 0, "write(7)")
+	if _, resp := mustApply(t, r, st, 1, "read()"); resp != "7" {
+		t.Errorf("read after write(7) = %q", resp)
+	}
+	if _, _, err := r.Apply(st, 0, "bogus()"); err == nil {
+		t.Error("bogus invocation accepted")
+	}
+}
+
+func TestABARegisterFlagSemantics(t *testing.T) {
+	s := ABARegister{N: 2}
+	st := s.Initial()
+
+	// First DRead by p0 with no DWrite yet: flag false.
+	st, resp := mustApply(t, s, st, 0, "DRead()")
+	if resp != "("+Bot+",false)" {
+		t.Errorf("first DRead = %q", resp)
+	}
+
+	// DWrite then DRead by p0: flag true.
+	st, _ = mustApply(t, s, st, 1, "DWrite(a)")
+	st, resp = mustApply(t, s, st, 0, "DRead()")
+	if resp != "(a,true)" {
+		t.Errorf("DRead after DWrite = %q, want (a,true)", resp)
+	}
+
+	// No write since p0's last DRead: flag false.
+	st, resp = mustApply(t, s, st, 0, "DRead()")
+	if resp != "(a,false)" {
+		t.Errorf("DRead without intervening DWrite = %q, want (a,false)", resp)
+	}
+
+	// p1's first DRead: flag true — DWrites happened since initialization
+	// (the implementations' virtual-first-DRead convention).
+	_, resp = mustApply(t, s, st, 1, "DRead()")
+	if resp != "(a,true)" {
+		t.Errorf("p1 first DRead = %q, want (a,true)", resp)
+	}
+}
+
+func TestABARegisterABAScenario(t *testing.T) {
+	// The classic ABA: value returns to "a", but the flag exposes the writes.
+	s := ABARegister{N: 1}
+	st := s.Initial()
+	st, _ = mustApply(t, s, st, 0, "DWrite(a)")
+	st, _ = mustApply(t, s, st, 0, "DRead()")
+	st, _ = mustApply(t, s, st, 0, "DWrite(b)")
+	st, _ = mustApply(t, s, st, 0, "DWrite(a)")
+	_, resp := mustApply(t, s, st, 0, "DRead()")
+	if resp != "(a,true)" {
+		t.Errorf("ABA DRead = %q, want (a,true)", resp)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := Snapshot{N: 3}
+	st := s.Initial()
+	if _, resp := mustApply(t, s, st, 0, "scan()"); resp != "["+Bot+" "+Bot+" "+Bot+"]" {
+		t.Errorf("initial scan = %q", resp)
+	}
+	st, _ = mustApply(t, s, st, 1, "update(x)")
+	st, _ = mustApply(t, s, st, 2, "update(y)")
+	if _, resp := mustApply(t, s, st, 0, "scan()"); resp != "["+Bot+" x y]" {
+		t.Errorf("scan = %q, want [%s x y]", resp, Bot)
+	}
+	// Single-writer: update by p overwrites only component p.
+	st, _ = mustApply(t, s, st, 1, "update(z)")
+	if _, resp := mustApply(t, s, st, 1, "scan()"); resp != "["+Bot+" z y]" {
+		t.Errorf("scan after overwrite = %q", resp)
+	}
+	if _, _, err := s.Apply(st, 5, "update(q)"); err == nil {
+		t.Error("out-of-range pid accepted")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{}
+	st := c.Initial()
+	for i := 1; i <= 5; i++ {
+		st, _ = mustApply(t, c, st, 0, "inc()")
+	}
+	if _, resp := mustApply(t, c, st, 1, "read()"); resp != "5" {
+		t.Errorf("read = %q, want 5", resp)
+	}
+}
+
+func TestCounterIncCommutes(t *testing.T) {
+	// Property: inc by any pids in any interleaving yields count = #incs.
+	f := func(k uint8) bool {
+		c := Counter{}
+		st := c.Initial()
+		n := int(k % 50)
+		for i := 0; i < n; i++ {
+			st, _, _ = c.Apply(st, i%3, "inc()")
+		}
+		_, resp, _ := c.Apply(st, 0, "read()")
+		return resp == strconv.Itoa(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRegister(t *testing.T) {
+	m := MaxRegister{}
+	st := m.Initial()
+	st, _ = mustApply(t, m, st, 0, "maxWrite(5)")
+	st, _ = mustApply(t, m, st, 0, "maxWrite(3)")
+	if _, resp := mustApply(t, m, st, 0, "maxRead()"); resp != "5" {
+		t.Errorf("maxRead = %q, want 5", resp)
+	}
+	st, _ = mustApply(t, m, st, 0, "maxWrite(9)")
+	if _, resp := mustApply(t, m, st, 0, "maxRead()"); resp != "9" {
+		t.Errorf("maxRead = %q, want 9", resp)
+	}
+}
+
+func TestMaxRegisterMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		m := MaxRegister{}
+		st := m.Initial()
+		var max uint64
+		for _, v := range vals {
+			st, _, _ = m.Apply(st, 0, FormatInvocation("maxWrite", strconv.FormatUint(uint64(v), 10)))
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+			_, resp, _ := m.Apply(st, 0, "maxRead()")
+			if resp != strconv.FormatUint(max, 10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := Set{}
+	st := s.Initial()
+	if _, resp := mustApply(t, s, st, 0, "contains(a)"); resp != "false" {
+		t.Errorf("contains on empty = %q", resp)
+	}
+	st, _ = mustApply(t, s, st, 0, "add(b)")
+	st, _ = mustApply(t, s, st, 0, "add(a)")
+	st, _ = mustApply(t, s, st, 0, "add(b)") // duplicate
+	if st != "a,b" {
+		t.Errorf("state = %q, want canonical sorted a,b", st)
+	}
+	if _, resp := mustApply(t, s, st, 1, "contains(b)"); resp != "true" {
+		t.Errorf("contains(b) = %q", resp)
+	}
+}
+
+func TestSetAddOrderIrrelevant(t *testing.T) {
+	// Property: canonical state is independent of insertion order.
+	f := func(vals []uint8) bool {
+		s := Set{}
+		forward := s.Initial()
+		for _, v := range vals {
+			forward, _, _ = s.Apply(forward, 0, FormatInvocation("add", strconv.Itoa(int(v))))
+		}
+		backward := s.Initial()
+		for i := len(vals) - 1; i >= 0; i-- {
+			backward, _, _ = s.Apply(backward, 0, FormatInvocation("add", strconv.Itoa(int(vals[i]))))
+		}
+		return forward == backward
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	a := Accumulator{}
+	st := a.Initial()
+	st, _ = mustApply(t, a, st, 0, "addTo(5)")
+	st, _ = mustApply(t, a, st, 1, "addTo(-2)")
+	if _, resp := mustApply(t, a, st, 0, "read()"); resp != "3" {
+		t.Errorf("read = %q, want 3", resp)
+	}
+}
+
+func TestSpecsRejectMalformedState(t *testing.T) {
+	specs := []Spec{ABARegister{N: 2}, Snapshot{N: 2}, Counter{}, MaxRegister{}, Accumulator{}}
+	for _, s := range specs {
+		t.Run(s.Name(), func(t *testing.T) {
+			if _, _, err := s.Apply("!!definitely not a state!!", 0, "read()"); err == nil {
+				// Set and Register treat arbitrary strings as states; others must reject.
+				t.Errorf("%s accepted malformed state", s.Name())
+			}
+		})
+	}
+}
+
+func TestSpecsDeterministic(t *testing.T) {
+	specs := []struct {
+		s    Spec
+		pid  int
+		desc string
+	}{
+		{Register{}, 0, "write(1)"},
+		{ABARegister{N: 2}, 1, "DRead()"},
+		{Snapshot{N: 2}, 0, "scan()"},
+		{Counter{}, 0, "inc()"},
+		{MaxRegister{}, 0, "maxWrite(4)"},
+		{Set{}, 0, "add(z)"},
+		{Accumulator{}, 0, "addTo(1)"},
+	}
+	for _, tc := range specs {
+		st := tc.s.Initial()
+		n1, r1, err1 := tc.s.Apply(st, tc.pid, tc.desc)
+		n2, r2, err2 := tc.s.Apply(st, tc.pid, tc.desc)
+		if n1 != n2 || r1 != r2 || (err1 == nil) != (err2 == nil) {
+			t.Errorf("%s.Apply not deterministic for %s", tc.s.Name(), tc.desc)
+		}
+	}
+}

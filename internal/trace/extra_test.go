@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTranscriptString(t *testing.T) {
+	tr := sampleTranscript()
+	out := tr.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != tr.Len() {
+		t.Fatalf("String has %d lines, want %d", len(lines), tr.Len())
+	}
+	if !strings.Contains(lines[0], "inv") || !strings.Contains(lines[0], "write(1)") {
+		t.Errorf("first line = %q", lines[0])
+	}
+	// Indices must be present and ordered.
+	if !strings.HasPrefix(strings.TrimSpace(lines[3]), "3") {
+		t.Errorf("line 3 = %q, want index prefix 3", lines[3])
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	h := sampleTranscript().Interpreted()
+	out := h.String()
+	if !strings.Contains(out, "#1 p0 write(1) -> ok") {
+		t.Errorf("missing completed op rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "(pending)") {
+		t.Errorf("missing pending op rendering:\n%s", out)
+	}
+}
+
+func TestOperationString(t *testing.T) {
+	op := Operation{OpID: 9, PID: 2, Desc: "scan()", Res: "[a]", Inv: 0, Ret: 5}
+	if got := op.String(); got != "#9 p2 scan() -> [a]" {
+		t.Errorf("String = %q", got)
+	}
+	op.Ret = -1
+	if got := op.String(); got != "#9 p2 scan() -> (pending)" {
+		t.Errorf("pending String = %q", got)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	tests := map[EventKind]string{
+		KindInvoke:    "inv",
+		KindReturn:    "ret",
+		KindRead:      "read",
+		KindWrite:     "write",
+		KindAnnotate:  "note",
+		EventKind(99): "EventKind(99)",
+	}
+	for k, want := range tests {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestUnknownEventString(t *testing.T) {
+	e := Event{Kind: EventKind(42), PID: 1}
+	if got := e.String(); !strings.Contains(got, "?kind=42") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestInterpretedIgnoresUnmatchedReturn(t *testing.T) {
+	tr := &Transcript{}
+	tr.Append(Event{Kind: KindReturn, PID: 0, OpID: 77, Res: "ok"})
+	h := tr.Interpreted()
+	if len(h.Ops) != 0 {
+		t.Errorf("unmatched return produced %d ops", len(h.Ops))
+	}
+}
+
+func TestInterpretedIgnoresAnnotations(t *testing.T) {
+	tr := &Transcript{}
+	tr.Append(Event{Kind: KindInvoke, PID: 0, OpID: 1, Desc: "op()"})
+	tr.Append(Event{Kind: KindAnnotate, PID: 0, OpID: 1, Desc: "hint"})
+	tr.Append(Event{Kind: KindReturn, PID: 0, OpID: 1, Res: "ok"})
+	h := tr.Interpreted()
+	if len(h.Ops) != 1 || !h.Ops[0].Complete() {
+		t.Fatalf("ops = %v", h.Ops)
+	}
+}
+
+func TestEmptyTranscript(t *testing.T) {
+	tr := &Transcript{}
+	if tr.Len() != 0 {
+		t.Error("empty transcript has nonzero length")
+	}
+	if !tr.IsPrefixOf(sampleTranscript()) {
+		t.Error("empty transcript must prefix everything")
+	}
+	h := tr.Interpreted()
+	if len(h.Ops) != 0 || !h.Complete() {
+		t.Error("empty history must be complete with no ops")
+	}
+	if got := tr.Clone().Len(); got != 0 {
+		t.Errorf("clone of empty = %d events", got)
+	}
+}
+
+func TestProjectRegExcludesHighLevel(t *testing.T) {
+	tr := sampleTranscript()
+	// Project onto a register that does not exist.
+	if got := tr.ProjectReg("nope").Len(); got != 0 {
+		t.Errorf("projection onto unknown register has %d events", got)
+	}
+}
+
+func TestAppendReturnsIndex(t *testing.T) {
+	tr := &Transcript{}
+	for i := 0; i < 5; i++ {
+		if got := tr.Append(Event{Kind: KindRead, PID: 0}); got != i {
+			t.Fatalf("Append returned %d, want %d", got, i)
+		}
+	}
+}

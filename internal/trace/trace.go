@@ -1,0 +1,273 @@
+// Package trace defines the execution model of the paper's Section 2:
+// transcripts made of invocation events, response events, and base-object
+// steps; interpreted histories Γ(T); and the happens-before order.
+//
+// A transcript is the ground truth recorded by the simulator
+// (internal/sched). The linearizability and strong-linearizability checkers
+// (internal/lincheck) work on interpreted histories extracted from
+// transcripts.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind discriminates transcript events.
+type EventKind int
+
+// Event kinds. Invoke/Return are the "high-level" steps of operations on the
+// implemented object; Read/Write are steps on base registers; Annotate
+// carries auxiliary implementation annotations (e.g. linearization-point
+// hints) and is ignored by Γ.
+const (
+	KindInvoke EventKind = iota + 1
+	KindReturn
+	KindRead
+	KindWrite
+	KindAnnotate
+)
+
+// String returns a short human-readable name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case KindInvoke:
+		return "inv"
+	case KindReturn:
+		return "ret"
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindAnnotate:
+		return "note"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is a single step of a transcript.
+type Event struct {
+	Kind EventKind
+	// PID is the process performing the step.
+	PID int
+	// OpID identifies the operation instance this step belongs to. It pairs
+	// invocations with responses (the paper's matching integer id).
+	OpID int
+	// Desc is the invocation description for Invoke events, e.g. "DWrite(5)",
+	// and the annotation text for Annotate events.
+	Desc string
+	// Res is the response encoding for Return events, e.g. "(5,true)".
+	Res string
+	// Reg is the register name for Read/Write events.
+	Reg string
+	// Val is a string rendering of the value read or written.
+	Val string
+}
+
+// String renders the event compactly, for counterexample output.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindInvoke:
+		return fmt.Sprintf("p%d inv  #%d %s", e.PID, e.OpID, e.Desc)
+	case KindReturn:
+		return fmt.Sprintf("p%d ret  #%d -> %s", e.PID, e.OpID, e.Res)
+	case KindRead:
+		return fmt.Sprintf("p%d read %s = %s", e.PID, e.Reg, e.Val)
+	case KindWrite:
+		return fmt.Sprintf("p%d write %s := %s", e.PID, e.Reg, e.Val)
+	case KindAnnotate:
+		return fmt.Sprintf("p%d note %s", e.PID, e.Desc)
+	default:
+		return fmt.Sprintf("p%d ?kind=%d", e.PID, int(e.Kind))
+	}
+}
+
+// Transcript is a finite sequence of events. The zero value is an empty
+// transcript ready to use.
+type Transcript struct {
+	Events []Event
+}
+
+// Append adds an event and returns its index (its "time" in the paper's
+// sense).
+func (t *Transcript) Append(e Event) int {
+	t.Events = append(t.Events, e)
+	return len(t.Events) - 1
+}
+
+// Len returns the number of events.
+func (t *Transcript) Len() int { return len(t.Events) }
+
+// Clone returns a deep copy of the transcript.
+func (t *Transcript) Clone() *Transcript {
+	events := make([]Event, len(t.Events))
+	copy(events, t.Events)
+	return &Transcript{Events: events}
+}
+
+// Prefix returns a copy of the first k events as a transcript.
+func (t *Transcript) Prefix(k int) *Transcript {
+	if k > len(t.Events) {
+		k = len(t.Events)
+	}
+	events := make([]Event, k)
+	copy(events, t.Events[:k])
+	return &Transcript{Events: events}
+}
+
+// IsPrefixOf reports whether t is a prefix of u.
+func (t *Transcript) IsPrefixOf(u *Transcript) bool {
+	if len(t.Events) > len(u.Events) {
+		return false
+	}
+	for i, e := range t.Events {
+		if u.Events[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// ProjectPID returns the subsequence of events performed by process pid
+// (the paper's T|p).
+func (t *Transcript) ProjectPID(pid int) *Transcript {
+	out := &Transcript{}
+	for _, e := range t.Events {
+		if e.PID == pid {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// ProjectReg returns the subsequence of base steps on the named register
+// (the paper's T|O for a base object O).
+func (t *Transcript) ProjectReg(reg string) *Transcript {
+	out := &Transcript{}
+	for _, e := range t.Events {
+		if (e.Kind == KindRead || e.Kind == KindWrite) && e.Reg == reg {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// String renders the transcript one event per line.
+func (t *Transcript) String() string {
+	var b strings.Builder
+	for i, e := range t.Events {
+		fmt.Fprintf(&b, "%4d  %s\n", i, e.String())
+	}
+	return b.String()
+}
+
+// Operation is a "high-level" operation extracted from a transcript: an
+// invocation and (if complete) its matching response.
+type Operation struct {
+	OpID int
+	PID  int
+	// Desc is the invocation description, e.g. "update(3)".
+	Desc string
+	// Res is the recorded response; meaningful only when Complete.
+	Res string
+	// Inv and Ret are event indices in the source transcript; Ret is -1 for
+	// pending operations.
+	Inv int
+	Ret int
+}
+
+// Complete reports whether the operation has responded.
+func (o Operation) Complete() bool { return o.Ret >= 0 }
+
+// String renders the operation for counterexample output.
+func (o Operation) String() string {
+	if o.Complete() {
+		return fmt.Sprintf("#%d p%d %s -> %s", o.OpID, o.PID, o.Desc, o.Res)
+	}
+	return fmt.Sprintf("#%d p%d %s -> (pending)", o.OpID, o.PID, o.Desc)
+}
+
+// History is an interpreted history Γ(T): the high-level operations of a
+// transcript in invocation order, with real-time (happens-before) structure
+// recoverable from the Inv/Ret indices.
+type History struct {
+	Ops []Operation
+}
+
+// Interpreted computes Γ(t): one Operation per Invoke event, completed if a
+// matching Return exists.
+func (t *Transcript) Interpreted() *History {
+	h := &History{}
+	byID := make(map[int]int) // OpID -> index in h.Ops
+	for i, e := range t.Events {
+		switch e.Kind {
+		case KindInvoke:
+			byID[e.OpID] = len(h.Ops)
+			h.Ops = append(h.Ops, Operation{
+				OpID: e.OpID,
+				PID:  e.PID,
+				Desc: e.Desc,
+				Inv:  i,
+				Ret:  -1,
+			})
+		case KindReturn:
+			idx, ok := byID[e.OpID]
+			if !ok {
+				// A response without a recorded invocation would violate
+				// well-formedness; ignore defensively.
+				continue
+			}
+			h.Ops[idx].Ret = i
+			h.Ops[idx].Res = e.Res
+		}
+	}
+	return h
+}
+
+// HappensBefore reports whether a happens before b: a's response precedes
+// b's invocation.
+func (h *History) HappensBefore(a, b Operation) bool {
+	return a.Ret >= 0 && a.Ret < b.Inv
+}
+
+// Complete reports whether every operation in the history is complete.
+func (h *History) Complete() bool {
+	for _, op := range h.Ops {
+		if !op.Complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// Pending returns the pending operations.
+func (h *History) Pending() []Operation {
+	var out []Operation
+	for _, op := range h.Ops {
+		if !op.Complete() {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// ByID returns the operation with the given OpID, if present.
+func (h *History) ByID(id int) (Operation, bool) {
+	for _, op := range h.Ops {
+		if op.OpID == id {
+			return op, true
+		}
+	}
+	return Operation{}, false
+}
+
+// String renders the history one operation per line.
+func (h *History) String() string {
+	var b strings.Builder
+	for _, op := range h.Ops {
+		b.WriteString(op.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleTranscript() *Transcript {
+	t := &Transcript{}
+	t.Append(Event{Kind: KindInvoke, PID: 0, OpID: 1, Desc: "write(1)"})
+	t.Append(Event{Kind: KindWrite, PID: 0, OpID: 1, Reg: "X", Val: "1"})
+	t.Append(Event{Kind: KindInvoke, PID: 1, OpID: 2, Desc: "read()"})
+	t.Append(Event{Kind: KindReturn, PID: 0, OpID: 1, Res: "ok"})
+	t.Append(Event{Kind: KindRead, PID: 1, OpID: 2, Reg: "X", Val: "1"})
+	t.Append(Event{Kind: KindReturn, PID: 1, OpID: 2, Res: "1"})
+	t.Append(Event{Kind: KindInvoke, PID: 0, OpID: 3, Desc: "write(2)"})
+	return t
+}
+
+func TestInterpreted(t *testing.T) {
+	tr := sampleTranscript()
+	h := tr.Interpreted()
+	if len(h.Ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(h.Ops))
+	}
+
+	op1, op2, op3 := h.Ops[0], h.Ops[1], h.Ops[2]
+	if !op1.Complete() || op1.Res != "ok" || op1.Desc != "write(1)" {
+		t.Errorf("op1 = %+v, want complete write(1)->ok", op1)
+	}
+	if !op2.Complete() || op2.Res != "1" {
+		t.Errorf("op2 = %+v, want complete read->1", op2)
+	}
+	if op3.Complete() {
+		t.Errorf("op3 = %+v, want pending", op3)
+	}
+	if h.Complete() {
+		t.Error("history reported complete with a pending op")
+	}
+	if got := len(h.Pending()); got != 1 {
+		t.Errorf("pending count = %d, want 1", got)
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	tr := sampleTranscript()
+	h := tr.Interpreted()
+	op1, op2, op3 := h.Ops[0], h.Ops[1], h.Ops[2]
+
+	tests := []struct {
+		name string
+		a, b Operation
+		want bool
+	}{
+		{"op1 before op3", op1, op3, true},
+		{"op2 before op3", op2, op3, true},
+		{"op1 concurrent op2 (overlap)", op1, op2, false},
+		{"op2 not before op1", op2, op1, false},
+		{"pending op3 before nothing", op3, op1, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := h.HappensBefore(tc.a, tc.b); got != tc.want {
+				t.Errorf("HappensBefore(#%d,#%d) = %t, want %t", tc.a.OpID, tc.b.OpID, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestProjections(t *testing.T) {
+	tr := sampleTranscript()
+	p0 := tr.ProjectPID(0)
+	if p0.Len() != 4 {
+		t.Errorf("T|p0 has %d events, want 4", p0.Len())
+	}
+	for _, e := range p0.Events {
+		if e.PID != 0 {
+			t.Errorf("T|p0 contains event by p%d", e.PID)
+		}
+	}
+	rx := tr.ProjectReg("X")
+	if rx.Len() != 2 {
+		t.Errorf("T|X has %d events, want 2", rx.Len())
+	}
+	for _, e := range rx.Events {
+		if e.Kind != KindRead && e.Kind != KindWrite {
+			t.Errorf("T|X contains non-base event %v", e)
+		}
+	}
+}
+
+func TestPrefixRelation(t *testing.T) {
+	tr := sampleTranscript()
+	for k := 0; k <= tr.Len(); k++ {
+		p := tr.Prefix(k)
+		if p.Len() != k {
+			t.Fatalf("Prefix(%d).Len() = %d", k, p.Len())
+		}
+		if !p.IsPrefixOf(tr) {
+			t.Fatalf("Prefix(%d) not a prefix of original", k)
+		}
+	}
+	if tr.Prefix(3).IsPrefixOf(tr.Prefix(2)) {
+		t.Error("longer transcript reported as prefix of shorter")
+	}
+	other := sampleTranscript()
+	other.Events[0].PID = 5
+	if other.Prefix(1).IsPrefixOf(tr) {
+		t.Error("diverging transcript reported as prefix")
+	}
+}
+
+func TestPrefixOverflowClamped(t *testing.T) {
+	tr := sampleTranscript()
+	if got := tr.Prefix(1000).Len(); got != tr.Len() {
+		t.Errorf("Prefix beyond length = %d events, want %d", got, tr.Len())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := sampleTranscript()
+	cl := tr.Clone()
+	cl.Events[0].Desc = "mutated"
+	if tr.Events[0].Desc == "mutated" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+// Property: for any split point, interpreting a prefix yields operations
+// whose Inv index is within the prefix, and every complete op in the prefix
+// stays complete in the full interpretation.
+func TestInterpretedPrefixMonotone(t *testing.T) {
+	tr := sampleTranscript()
+	full := tr.Interpreted()
+	f := func(kRaw uint8) bool {
+		k := int(kRaw) % (tr.Len() + 1)
+		h := tr.Prefix(k).Interpreted()
+		for _, op := range h.Ops {
+			if op.Inv >= k {
+				return false
+			}
+			if op.Complete() {
+				fop, found := full.ByID(op.OpID)
+				if !found || !fop.Complete() || fop.Res != op.Res {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	tests := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: KindInvoke, PID: 1, OpID: 7, Desc: "scan()"}, "p1 inv  #7 scan()"},
+		{Event{Kind: KindReturn, PID: 2, OpID: 7, Res: "[1 2]"}, "p2 ret  #7 -> [1 2]"},
+		{Event{Kind: KindRead, PID: 0, Reg: "X", Val: "3"}, "p0 read X = 3"},
+		{Event{Kind: KindWrite, PID: 0, Reg: "X", Val: "4"}, "p0 write X := 4"},
+		{Event{Kind: KindAnnotate, PID: 3, Desc: "lin"}, "p3 note lin"},
+	}
+	for _, tc := range tests {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	h := sampleTranscript().Interpreted()
+	if _, ok := h.ByID(2); !ok {
+		t.Error("ByID(2) not found")
+	}
+	if _, ok := h.ByID(99); ok {
+		t.Error("ByID(99) unexpectedly found")
+	}
+}

@@ -1,0 +1,151 @@
+package universal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"slmem/internal/lincheck"
+	"slmem/internal/memory"
+	"slmem/internal/sched"
+	"slmem/internal/spec"
+)
+
+// orFlagType is a custom simple type built with FuncType: a boolean OR flag.
+// set() raises it (sets commute and are idempotent: they mutually
+// overwrite); get() returns it and is overwritten by everything.
+func orFlagType() FuncType {
+	return FuncType{
+		TypeName: "orflag",
+		Sequential: FuncSpec{
+			SpecName:     "orflag",
+			InitialState: "false",
+			ApplyFn: func(state string, _ int, desc string) (string, string, error) {
+				name, _, err := spec.ParseInvocation(desc)
+				if err != nil {
+					return "", "", err
+				}
+				switch name {
+				case "set":
+					return "true", "ok", nil
+				case "get":
+					return state, state, nil
+				default:
+					return "", "", fmt.Errorf("orflag: unknown %q", desc)
+				}
+			},
+		},
+		CommutesFn: func(a string, _ int, b string, _ int) bool {
+			return strings.HasPrefix(a, "set") == strings.HasPrefix(b, "set")
+		},
+		OverwritesFn: func(a string, _ int, b string, _ int) bool {
+			// Everything overwrites get; set overwrites set (idempotent).
+			return strings.HasPrefix(b, "get") || strings.HasPrefix(a, "set") && strings.HasPrefix(b, "set")
+		},
+	}
+}
+
+func TestFuncTypeIsSimple(t *testing.T) {
+	if err := ValidateSimple(orFlagType(), []string{"set()", "get()"}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuncTypeSequential(t *testing.T) {
+	var alloc memory.NativeAllocator
+	o := New(&alloc, orFlagType(), 2)
+	if got := mustExecute(t, o, 0, "get()"); got != "false" {
+		t.Errorf("initial get = %q", got)
+	}
+	mustExecute(t, o, 1, "set()")
+	if got := mustExecute(t, o, 0, "get()"); got != "true" {
+		t.Errorf("get after set = %q", got)
+	}
+}
+
+func TestFuncTypeLinearizableUnderRandomSchedules(t *testing.T) {
+	typ := orFlagType()
+	scripts := [][]string{{"set()", "get()"}, {"get()", "set()"}}
+	for seed := int64(0); seed < 20; seed++ {
+		res := sched.Run(simSystem(typ, scripts), sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckTranscript(res.T, typ.Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: not linearizable:\n%s", seed, res.T.Interpreted())
+		}
+	}
+}
+
+func TestFuncTypeNilCommutes(t *testing.T) {
+	// A type whose invocations all mutually overwrite needs no CommutesFn.
+	typ := FuncType{
+		TypeName:   "lastwins",
+		Sequential: spec.Register{},
+		OverwritesFn: func(string, int, string, int) bool {
+			return true
+		},
+	}
+	if typ.Commutes("write(1)", 0, "write(2)", 1) {
+		t.Error("nil CommutesFn should report false")
+	}
+	if err := ValidateSimple(typ, []string{"write(1)", "read()"}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var alloc memory.NativeAllocator
+	o := New(&alloc, typ, 2)
+	mustExecute(t, o, 0, "write(7)")
+	if got := mustExecute(t, o, 1, "read()"); got != "7" {
+		t.Errorf("read = %q", got)
+	}
+}
+
+// TestFuncTypeBoundedCounter implements a mod-k counter as a custom type
+// and cross-checks it against a reference while concurrent.
+func TestFuncTypeBoundedCounter(t *testing.T) {
+	const k = 5
+	typ := FuncType{
+		TypeName: "modcounter",
+		Sequential: FuncSpec{
+			SpecName:     "modcounter",
+			InitialState: "0",
+			ApplyFn: func(state string, _ int, desc string) (string, string, error) {
+				cur, err := strconv.Atoi(state)
+				if err != nil {
+					return "", "", err
+				}
+				name, _, err := spec.ParseInvocation(desc)
+				if err != nil {
+					return "", "", err
+				}
+				switch name {
+				case "inc":
+					return strconv.Itoa((cur + 1) % k), "ok", nil
+				case "read":
+					return state, state, nil
+				default:
+					return "", "", fmt.Errorf("modcounter: unknown %q", desc)
+				}
+			},
+		},
+		CommutesFn: func(a string, _ int, b string, _ int) bool {
+			return strings.HasPrefix(a, strings.Split(b, "(")[0])
+		},
+		OverwritesFn: func(a string, _ int, b string, _ int) bool {
+			return strings.HasPrefix(b, "read")
+		},
+	}
+	var alloc memory.NativeAllocator
+	o := New(&alloc, typ, 2)
+	for i := 0; i < 12; i++ {
+		mustExecute(t, o, i%2, "inc()")
+	}
+	if got := mustExecute(t, o, 0, "read()"); got != strconv.Itoa(12%k) {
+		t.Errorf("read = %q, want %d", got, 12%k)
+	}
+}

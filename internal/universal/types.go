@@ -1,0 +1,231 @@
+package universal
+
+import (
+	"strconv"
+
+	"slmem/internal/spec"
+)
+
+// invName extracts the invocation name, tolerating malformed input (the
+// construction validates invocations against the spec when executing).
+func invName(desc string) string {
+	name, _, err := spec.ParseInvocation(desc)
+	if err != nil {
+		return desc
+	}
+	return name
+}
+
+func invArg(desc string) string {
+	_, args, err := spec.ParseInvocation(desc)
+	if err != nil || len(args) != 1 {
+		return ""
+	}
+	return args[0]
+}
+
+// CounterType is the counter as a simple type: inc() operations commute,
+// read() operations mutually overwrite (and commute), and inc() overwrites
+// read().
+type CounterType struct{}
+
+var _ Type = CounterType{}
+
+// Name implements Type.
+func (CounterType) Name() string { return "counter" }
+
+// Spec implements Type.
+func (CounterType) Spec() spec.Spec { return spec.Counter{} }
+
+// Commutes implements Type.
+func (CounterType) Commutes(a string, _ int, b string, _ int) bool {
+	return invName(a) == invName(b)
+}
+
+// Overwrites implements Type: H∘b∘a ≡ H∘a for all H.
+func (CounterType) Overwrites(a string, _ int, b string, _ int) bool {
+	// inc overwrites read (read leaves no trace); read overwrites read.
+	return invName(b) == "read"
+}
+
+// SetType is the grow-only set as a simple type: adds commute, contains
+// mutually overwrite, add(x) overwrites any contains and add(x) overwrites
+// add(x) (idempotence).
+type SetType struct{}
+
+var _ Type = SetType{}
+
+// Name implements Type.
+func (SetType) Name() string { return "set" }
+
+// Spec implements Type.
+func (SetType) Spec() spec.Spec { return spec.Set{} }
+
+// Commutes implements Type.
+func (SetType) Commutes(a string, _ int, b string, _ int) bool {
+	na, nb := invName(a), invName(b)
+	switch {
+	case na == "add" && nb == "add":
+		return true
+	case na == "contains" && nb == "contains":
+		return true
+	default:
+		// add(x) and contains(y) commute iff x != y (a contains whose answer
+		// cannot change).
+		return invArg(a) != invArg(b)
+	}
+}
+
+// Overwrites implements Type.
+func (SetType) Overwrites(a string, _ int, b string, _ int) bool {
+	na, nb := invName(a), invName(b)
+	switch {
+	case nb == "contains":
+		// Anything after a contains erases it: contains has no effect.
+		return true
+	case na == "add" && nb == "add":
+		// add(x) overwrites add(x) by idempotence, but not add(y), y != x.
+		return invArg(a) == invArg(b)
+	default:
+		// contains never overwrites an add.
+		return false
+	}
+}
+
+// AccumulatorType is the commutative accumulator as a simple type: addTo
+// operations commute, reads mutually overwrite, addTo overwrites read.
+type AccumulatorType struct{}
+
+var _ Type = AccumulatorType{}
+
+// Name implements Type.
+func (AccumulatorType) Name() string { return "accumulator" }
+
+// Spec implements Type.
+func (AccumulatorType) Spec() spec.Spec { return spec.Accumulator{} }
+
+// Commutes implements Type.
+func (AccumulatorType) Commutes(a string, _ int, b string, _ int) bool {
+	return invName(a) == invName(b)
+}
+
+// Overwrites implements Type.
+func (AccumulatorType) Overwrites(a string, _ int, b string, _ int) bool {
+	if invName(b) != "read" {
+		return false
+	}
+	return true
+}
+
+// MaxRegType is the max-register as a simple type: maxWrites commute, reads
+// mutually overwrite, maxWrite overwrites read, and maxWrite(x) overwrites
+// maxWrite(y) when x >= y.
+type MaxRegType struct{}
+
+var _ Type = MaxRegType{}
+
+// Name implements Type.
+func (MaxRegType) Name() string { return "maxreg" }
+
+// Spec implements Type.
+func (MaxRegType) Spec() spec.Spec { return spec.MaxRegister{} }
+
+// Commutes implements Type.
+func (MaxRegType) Commutes(a string, _ int, b string, _ int) bool {
+	return invName(a) == invName(b)
+}
+
+// Overwrites implements Type.
+func (MaxRegType) Overwrites(a string, _ int, b string, _ int) bool {
+	if invName(b) == "maxRead" {
+		return true
+	}
+	if invName(a) != "maxWrite" || invName(b) != "maxWrite" {
+		return false
+	}
+	x, errX := strconv.ParseUint(invArg(a), 10, 64)
+	y, errY := strconv.ParseUint(invArg(b), 10, 64)
+	if errX != nil || errY != nil {
+		return false
+	}
+	return x >= y
+}
+
+// RegisterType is the multi-writer register as a simple type: writes
+// mutually overwrite (ties broken by process id), reads mutually overwrite
+// (and commute), and writes overwrite reads.
+type RegisterType struct{}
+
+var _ Type = RegisterType{}
+
+// Name implements Type.
+func (RegisterType) Name() string { return "register" }
+
+// Spec implements Type.
+func (RegisterType) Spec() spec.Spec { return spec.Register{} }
+
+// Commutes implements Type.
+func (RegisterType) Commutes(a string, _ int, b string, _ int) bool {
+	if invName(a) == "read" && invName(b) == "read" {
+		return true
+	}
+	// Writes of the same value commute too.
+	if invName(a) == "write" && invName(b) == "write" {
+		return invArg(a) == invArg(b)
+	}
+	return false
+}
+
+// Overwrites implements Type.
+func (RegisterType) Overwrites(a string, _ int, b string, _ int) bool {
+	switch {
+	case invName(b) == "read":
+		return true
+	case invName(a) == "write" && invName(b) == "write":
+		return true
+	default:
+		return false
+	}
+}
+
+// SnapshotType is the single-writer snapshot itself as a simple type:
+// updates by different processes commute, updates by the same process
+// overwrite each other, scans mutually overwrite, updates overwrite scans.
+type SnapshotType struct {
+	// N is the number of processes.
+	N int
+}
+
+var _ Type = SnapshotType{}
+
+// Name implements Type.
+func (SnapshotType) Name() string { return "snapshot" }
+
+// Spec implements Type.
+func (t SnapshotType) Spec() spec.Spec { return spec.Snapshot{N: t.N} }
+
+// Commutes implements Type.
+func (SnapshotType) Commutes(a string, pa int, b string, pb int) bool {
+	na, nb := invName(a), invName(b)
+	switch {
+	case na == "scan" && nb == "scan":
+		return true
+	case na == "update" && nb == "update":
+		return pa != pb || invArg(a) == invArg(b)
+	default:
+		return false
+	}
+}
+
+// Overwrites implements Type.
+func (SnapshotType) Overwrites(a string, pa int, b string, pb int) bool {
+	na, nb := invName(a), invName(b)
+	switch {
+	case nb == "scan":
+		return true
+	case na == "update" && nb == "update":
+		return pa == pb
+	default:
+		return false
+	}
+}

@@ -1,0 +1,319 @@
+// Package universal implements the Aspnes–Herlihy wait-free construction of
+// arbitrary simple types from a snapshot object (paper Section 5,
+// Algorithms 5 and 6), which the paper proves strongly linearizable
+// (Theorem 54). With the strongly linearizable snapshot of internal/core as
+// its root, every simple type has a lock-free strongly linearizable
+// implementation from registers (Theorem 3).
+//
+// A simple type is one where every pair of invocation descriptions either
+// commutes or one overwrites the other (Definition 33). Each operation:
+//
+//  1. scans the root snapshot for the latest nodes of all processes,
+//  2. extracts the precedence graph reachable from them (Algorithm 6),
+//  3. builds the linearization graph by adding dominance edges between
+//     concurrent operations (Algorithm 5, lingraph),
+//  4. computes its response from a topological sort of that graph, and
+//  5. appends its own node, pointing at the scanned nodes, to the root.
+//
+// As the paper notes (Section 5.3/6), the construction keeps every node
+// forever: it is wait-free but not bounded wait-free, and per-operation cost
+// grows with history length — measured by experiment E6.
+package universal
+
+import (
+	"fmt"
+	"sort"
+
+	"slmem/internal/core"
+	"slmem/internal/memory"
+	"slmem/internal/spec"
+)
+
+// Type describes a simple type: its sequential specification plus the
+// commute/overwrite calculus over invocation descriptions (which, per the
+// paper's Section 2, include the invoking process id).
+type Type interface {
+	// Name identifies the type.
+	Name() string
+	// Spec returns the sequential specification used to compute responses.
+	Spec() spec.Spec
+	// Commutes reports whether invocations a and b commute: executing them
+	// in either order yields valid, equivalent histories.
+	Commutes(descA string, pidA int, descB string, pidB int) bool
+	// Overwrites reports whether invocation a overwrites invocation b:
+	// H ∘ b ∘ a is always valid and equivalent to H ∘ a.
+	Overwrites(descA string, pidA int, descB string, pidB int) bool
+}
+
+// Dominates implements the paper's Definition 34: a dominates b if a
+// overwrites b but not vice versa, or they overwrite each other and a's
+// process id is larger.
+func Dominates(t Type, descA string, pidA int, descB string, pidB int) bool {
+	ab := t.Overwrites(descA, pidA, descB, pidB)
+	ba := t.Overwrites(descB, pidB, descA, pidA)
+	switch {
+	case ab && !ba:
+		return true
+	case ab && ba:
+		return pidA > pidB
+	default:
+		return false
+	}
+}
+
+// ValidateSimple checks Definition 33 over a set of invocation samples:
+// every pair must commute or overwrite one way. It returns the first
+// offending pair, if any.
+func ValidateSimple(t Type, descs []string, pids []int) error {
+	for i, a := range descs {
+		for j, b := range descs {
+			pa, pb := pids[i%len(pids)], pids[j%len(pids)]
+			if t.Commutes(a, pa, b, pb) || t.Overwrites(a, pa, b, pb) || t.Overwrites(b, pb, a, pa) {
+				continue
+			}
+			return fmt.Errorf("universal: %s is not simple: %s(p%d) and %s(p%d) neither commute nor overwrite",
+				t.Name(), a, pa, b, pb)
+		}
+	}
+	return nil
+}
+
+// node is the struct of Algorithm 5: an operation record stored in the
+// shared precedence-graph representation. Nodes are immutable once written
+// to the root.
+type node struct {
+	invocation string
+	response   string
+	pid        int
+	index      int     // per-process operation index: (pid,index) is unique
+	preceding  []*node // view[i] at this operation's scan; nil = ⊥
+}
+
+func (nd *node) less(other *node) bool {
+	if nd.pid != other.pid {
+		return nd.pid < other.pid
+	}
+	return nd.index < other.index
+}
+
+// Root is the snapshot interface the construction needs. Theorem 3 requires
+// a strongly linearizable implementation (internal/core); a merely
+// linearizable one still yields a linearizable object (Aspnes–Herlihy).
+type Root interface {
+	Update(pid int, x *node)
+	Scan(pid int) []*node
+}
+
+// Object is an implementation of a simple type from a snapshot object.
+// Methods take the calling process id; at most one goroutine may drive a
+// given pid at a time.
+type Object struct {
+	t     Type
+	sp    spec.Spec
+	n     int
+	root  Root
+	index []int // per-process count of executed operations
+}
+
+// New constructs the object over the strongly linearizable snapshot of
+// internal/core, yielding a lock-free strongly linearizable implementation
+// (Theorem 3).
+func New(alloc memory.Allocator, t Type, n int) *Object {
+	return NewWithRoot(t, n, core.New[*node](alloc, n, nil))
+}
+
+// NewWithRoot constructs the object over an explicit root snapshot.
+func NewWithRoot(t Type, n int, root Root) *Object {
+	if n < 1 {
+		panic(fmt.Sprintf("universal: n = %d, need at least 1 process", n))
+	}
+	return &Object{t: t, sp: t.Spec(), n: n, root: root, index: make([]int, n)}
+}
+
+// Execute performs the invocation as process p (Algorithm 5, execute):
+// it computes the response the history demands, publishes the operation's
+// node, and returns the response.
+func (o *Object) Execute(p int, invoke string) (string, error) {
+	view := o.root.Scan(p) // line 81
+	g := precgraph(view)   // line 82
+	h := o.linearize(g)    // line 83: topological sort of lingraph(G)
+
+	// Lines 84-87: compute the response valid after H.
+	state := o.sp.Initial()
+	var err error
+	for _, nd := range h {
+		state, _, err = o.sp.Apply(state, nd.pid, nd.invocation)
+		if err != nil {
+			return "", fmt.Errorf("universal: replaying %s: %w", nd.invocation, err)
+		}
+	}
+	_, resp, err := o.sp.Apply(state, p, invoke)
+	if err != nil {
+		return "", fmt.Errorf("universal: %s: %w", invoke, err)
+	}
+
+	e := &node{
+		invocation: invoke,
+		response:   resp,
+		pid:        p,
+		index:      o.index[p],
+		preceding:  view, // lines 88-90 (Scan already returned a fresh copy)
+	}
+	o.index[p]++
+	o.root.Update(p, e) // line 91
+	return resp, nil
+}
+
+// HistorySize returns the number of operations currently reachable in the
+// shared precedence graph, as observed by process p (for growth
+// measurements; one root scan).
+func (o *Object) HistorySize(p int) int {
+	return len(precgraph(o.root.Scan(p)).nodes)
+}
+
+// graph is a precedence/linearization graph over operation nodes.
+// Successors are kept in deterministic order so every process derives the
+// same topological sorts from the same view.
+type graph struct {
+	nodes []*node           // canonical order: (pid, index)
+	succ  map[*node][]*node // u -> nodes that must come after u
+	edges map[[2]*node]bool // membership for dedup and reachability
+}
+
+func newGraph(nodes []*node) *graph {
+	return &graph{
+		nodes: nodes,
+		succ:  make(map[*node][]*node, len(nodes)),
+		edges: make(map[[2]*node]bool),
+	}
+}
+
+func (g *graph) addEdge(u, v *node) {
+	key := [2]*node{u, v}
+	if g.edges[key] {
+		return
+	}
+	g.edges[key] = true
+	g.succ[u] = append(g.succ[u], v)
+}
+
+// reaches reports whether v is reachable from u by a path of length >= 1.
+func (g *graph) reaches(u, v *node) bool {
+	seen := make(map[*node]bool, len(g.nodes))
+	stack := append([]*node(nil), g.succ[u]...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == v {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, g.succ[cur]...)
+	}
+	return false
+}
+
+// topoSort returns the deterministic minimal topological order: among ready
+// nodes, the canonical-smallest (pid, index) goes first.
+func (g *graph) topoSort() []*node {
+	indeg := make(map[*node]int, len(g.nodes))
+	for _, u := range g.nodes {
+		for _, v := range g.succ[u] {
+			indeg[v]++
+		}
+	}
+	// ready is kept sorted; nodes start in canonical order.
+	var ready []*node
+	for _, u := range g.nodes {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	out := make([]*node, 0, len(g.nodes))
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		out = append(out, u)
+		changed := false
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Slice(ready, func(i, j int) bool { return ready[i].less(ready[j]) })
+		}
+	}
+	return out
+}
+
+// precgraph implements Algorithm 6: extract the precedence graph reachable
+// from a root view by following preceding pointers.
+func precgraph(view []*node) *graph {
+	visited := make(map[*node]bool)
+	var queue []*node
+	for _, nd := range view { // lines 108-114
+		if nd != nil && !visited[nd] {
+			visited[nd] = true
+			queue = append(queue, nd)
+		}
+	}
+	var nodes []*node
+	for len(queue) > 0 { // lines 115-124
+		nd := queue[0]
+		queue = queue[1:]
+		nodes = append(nodes, nd)
+		for _, prev := range nd.preceding {
+			if prev != nil && !visited[prev] {
+				visited[prev] = true
+				queue = append(queue, prev)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].less(nodes[j]) })
+
+	g := newGraph(nodes)
+	for _, nd := range nodes {
+		for _, prev := range nd.preceding {
+			if prev != nil {
+				g.addEdge(prev, nd) // lines 117-118
+			}
+		}
+	}
+	return g
+}
+
+// linearize implements Algorithm 5's lingraph (lines 68-80) followed by the
+// final topological sort (line 83).
+func (o *Object) linearize(g *graph) []*node {
+	ordered := g.topoSort() // line 68
+
+	l := newGraph(g.nodes) // line 69: L <- G
+	for _, u := range g.nodes {
+		for _, v := range g.succ[u] {
+			l.addEdge(u, v)
+		}
+	}
+
+	for i := 0; i < len(ordered); i++ { // lines 70-79
+		for j := i + 1; j < len(ordered); j++ {
+			oi, oj := ordered[i], ordered[j]
+			if Dominates(o.t, oi.invocation, oi.pid, oj.invocation, oj.pid) {
+				// oi dominates oj: edge from dominated oj to dominating oi.
+				if !l.edges[[2]*node{oj, oi}] && !l.reaches(oi, oj) {
+					l.addEdge(oj, oi)
+				}
+			} else if Dominates(o.t, oj.invocation, oj.pid, oi.invocation, oi.pid) {
+				if !l.edges[[2]*node{oi, oj}] && !l.reaches(oj, oi) {
+					l.addEdge(oi, oj)
+				}
+			}
+		}
+	}
+	return l.topoSort() // line 83
+}

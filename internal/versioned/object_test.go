@@ -1,0 +1,175 @@
+package versioned
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"slmem/internal/lincheck"
+	"slmem/internal/memory"
+	"slmem/internal/sched"
+	"slmem/internal/spec"
+)
+
+func TestCounterSequential(t *testing.T) {
+	var alloc memory.NativeAllocator
+	c := NewCounter(&alloc, 3)
+	if got := c.Read(0); got != 0 {
+		t.Errorf("initial Read = %d", got)
+	}
+	c.Inc(0)
+	c.Inc(1)
+	c.Inc(2)
+	c.Inc(0)
+	if got := c.Read(1); got != 4 {
+		t.Errorf("Read = %d, want 4", got)
+	}
+}
+
+func TestCounterProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var alloc memory.NativeAllocator
+		c := NewCounter(&alloc, 3)
+		for _, b := range raw {
+			c.Inc(int(b) % 3)
+		}
+		return c.Read(0) == uint64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRegisterSequential(t *testing.T) {
+	var alloc memory.NativeAllocator
+	m := NewMaxRegister(&alloc, 2)
+	m.MaxWrite(0, 9)
+	m.MaxWrite(1, 4) // below the max but above p1's own component
+	if got := m.MaxRead(0); got != 9 {
+		t.Errorf("MaxRead = %d, want 9", got)
+	}
+	m.MaxWrite(1, 12)
+	if got := m.MaxRead(0); got != 12 {
+		t.Errorf("MaxRead = %d, want 12", got)
+	}
+}
+
+func TestCounterSimLinearizable(t *testing.T) {
+	sys := sched.System{
+		N: 3,
+		Setup: func(env *sched.Env) []sched.Program {
+			c := NewCounter(env, 3)
+			progs := make([]sched.Program, 3)
+			for pid := 0; pid < 3; pid++ {
+				pid := pid
+				progs[pid] = func(p *sched.Proc) {
+					p.Do("inc()", func() string { c.Inc(pid); return "ok" })
+					p.Do("read()", func() string {
+						return strconv.FormatUint(c.Read(pid), 10)
+					})
+				}
+			}
+			return progs
+		},
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		res := sched.Run(sys, sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckTranscript(res.T, spec.Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: not linearizable:\n%s", seed, res.T.Interpreted())
+		}
+	}
+}
+
+func TestMaxRegisterSimLinearizable(t *testing.T) {
+	sys := sched.System{
+		N: 2,
+		Setup: func(env *sched.Env) []sched.Program {
+			m := NewMaxRegister(env, 2)
+			return []sched.Program{
+				func(p *sched.Proc) {
+					for _, v := range []uint64{4, 2, 9} {
+						v := v
+						p.Do(spec.FormatInvocation("maxWrite", strconv.FormatUint(v, 10)), func() string {
+							m.MaxWrite(0, v)
+							return "ok"
+						})
+					}
+				},
+				func(p *sched.Proc) {
+					for i := 0; i < 3; i++ {
+						p.Do("maxRead()", func() string {
+							return strconv.FormatUint(m.MaxRead(1), 10)
+						})
+					}
+				},
+			}
+		},
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		res := sched.Run(sys, sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckTranscript(res.T, spec.MaxRegister{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: not linearizable:\n%s", seed, res.T.Interpreted())
+		}
+	}
+}
+
+func TestCounterChainMonitor(t *testing.T) {
+	sys := sched.System{
+		N: 2,
+		Setup: func(env *sched.Env) []sched.Program {
+			c := NewCounter(env, 2)
+			return []sched.Program{
+				func(p *sched.Proc) {
+					p.Do("inc()", func() string { c.Inc(0); return "ok" })
+					p.Do("read()", func() string { return strconv.FormatUint(c.Read(0), 10) })
+				},
+				func(p *sched.Proc) {
+					p.Do("inc()", func() string { c.Inc(1); return "ok" })
+					p.Do("read()", func() string { return strconv.FormatUint(c.Read(1), 10) })
+				},
+			}
+		},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res := sched.Run(sys, sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckChain(res.T, spec.Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: chain check failed at %s", seed, chk.FailNode)
+		}
+	}
+}
+
+// TestCounterSpaceGrows: the construction's defining limitation — registers
+// accumulate with increments (contrast with core.NewCounter's fixed
+// footprint, paper Section 4.5).
+func TestCounterSpaceGrows(t *testing.T) {
+	var alloc memory.NativeAllocator
+	c := NewCounter(&alloc, 2)
+	base := alloc.Registers()
+	for i := 0; i < 64; i++ {
+		c.Inc(i % 2)
+	}
+	if got := alloc.Registers(); got <= base+32 {
+		t.Errorf("registers grew only %d -> %d; expected unbounded-style growth", base, got)
+	}
+}

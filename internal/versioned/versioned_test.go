@@ -1,0 +1,164 @@
+package versioned
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"slmem/internal/core"
+	"slmem/internal/lincheck"
+	"slmem/internal/memory"
+	"slmem/internal/sched"
+	"slmem/internal/spec"
+)
+
+func TestSequentialSemantics(t *testing.T) {
+	var alloc memory.NativeAllocator
+	s := New[string](&alloc, 3, spec.Bot)
+
+	for i, v := range s.Scan(0) {
+		if v != spec.Bot {
+			t.Errorf("initial component %d = %q", i, v)
+		}
+	}
+	s.Update(1, "x")
+	s.Update(2, "y")
+	s.Update(1, "z")
+	if got := spec.FormatView(s.Scan(0)); got != "["+spec.Bot+" z y]" {
+		t.Errorf("scan = %s", got)
+	}
+}
+
+func TestSequentialRandomAgainstSpec(t *testing.T) {
+	const n = 3
+	f := func(script []uint8) bool {
+		var alloc memory.NativeAllocator
+		s := New[string](&alloc, n, spec.Bot)
+		sp := spec.Snapshot{N: n}
+		state := sp.Initial()
+		for i, b := range script {
+			pid := int(b) % n
+			if b%2 == 0 {
+				x := fmt.Sprintf("v%d", i)
+				s.Update(pid, x)
+				state, _, _ = sp.Apply(state, pid, spec.FormatInvocation("update", x))
+			} else {
+				got := spec.FormatView(s.Scan(pid))
+				_, want, _ := sp.Apply(state, pid, "scan()")
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanReturnsCopy(t *testing.T) {
+	var alloc memory.NativeAllocator
+	s := New[string](&alloc, 2, spec.Bot)
+	s.Update(0, "a")
+	v := s.Scan(0)
+	v[0] = "mutated"
+	if s.Scan(0)[0] != "a" {
+		t.Error("Scan result shares storage with the object")
+	}
+}
+
+func simSystem(n, updates, scans int) sched.System {
+	return sched.System{
+		N: n,
+		Setup: func(env *sched.Env) []sched.Program {
+			s := New[string](env, n, spec.Bot)
+			progs := make([]sched.Program, n)
+			for pid := 0; pid < n; pid++ {
+				pid := pid
+				if pid%2 == 1 {
+					progs[pid] = func(p *sched.Proc) {
+						for i := 0; i < updates; i++ {
+							x := fmt.Sprintf("u%d.%d", pid, i)
+							p.Do(spec.FormatInvocation("update", x), func() string {
+								s.Update(pid, x)
+								return "ok"
+							})
+						}
+					}
+				} else {
+					progs[pid] = func(p *sched.Proc) {
+						for i := 0; i < scans; i++ {
+							p.Do("scan()", func() string {
+								return spec.FormatView(s.Scan(pid))
+							})
+						}
+					}
+				}
+			}
+			return progs
+		},
+	}
+}
+
+func TestLinearizableUnderRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res := sched.Run(simSystem(3, 2, 2), sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckTranscript(res.T, spec.Snapshot{N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: not linearizable:\n%s", seed, res.T.Interpreted())
+		}
+	}
+}
+
+func TestStrongChainMonitor(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		res := sched.Run(simSystem(2, 2, 2), sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckChain(res.T, spec.Snapshot{N: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: chain check failed at %s", seed, chk.FailNode)
+		}
+	}
+}
+
+// TestSpaceGrowthVersusBounded is the heart of experiment E5: the versioned
+// construction keeps allocating registers as updates accumulate, while the
+// paper's Algorithm 3 snapshot stays at its construction-time footprint.
+func TestSpaceGrowthVersusBounded(t *testing.T) {
+	const n, rounds = 2, 50
+
+	var allocV memory.NativeAllocator
+	v := New[string](&allocV, n, spec.Bot)
+	baseV := allocV.Registers()
+
+	var allocB memory.NativeAllocator
+	b := core.New[string](&allocB, n, spec.Bot)
+	baseB := allocB.Registers()
+
+	for i := 0; i < rounds; i++ {
+		v.Update(0, fmt.Sprintf("x%d", i))
+		b.Update(0, fmt.Sprintf("x%d", i))
+	}
+
+	growthV := allocV.Registers() - baseV
+	growthB := allocB.Registers() - baseB
+	if growthB != 0 {
+		t.Errorf("Algorithm 3 allocated %d registers after construction; want 0 (bounded space)", growthB)
+	}
+	if growthV < rounds/2 {
+		t.Errorf("versioned construction grew by only %d registers over %d updates; expected unbounded-style growth", growthV, rounds)
+	}
+	t.Logf("register growth over %d updates: versioned=+%d, algorithm3=+%d", rounds, growthV, growthB)
+}

@@ -1,0 +1,60 @@
+package slmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestWithWaitFreeSubstrate(t *testing.T) {
+	s := NewSnapshot[string](3, "", WithWaitFreeSubstrate())
+	s.Update(0, "a")
+	s.Update(2, "c")
+	view := s.Scan(1)
+	if view[0] != "a" || view[1] != "" || view[2] != "c" {
+		t.Errorf("view = %v", view)
+	}
+}
+
+func TestWithWaitFreeSubstrateConcurrentSoak(t *testing.T) {
+	const n, rounds = 4, 150
+	s := NewSnapshot[int](n, 0, WithWaitFreeSubstrate())
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			last := make([]int, n)
+			for i := 1; i <= rounds; i++ {
+				s.Update(pid, i)
+				view := s.Scan(pid)
+				if view[pid] < i {
+					t.Errorf("p%d: own progress lost: %v", pid, view)
+					return
+				}
+				for q, v := range view {
+					if v < last[q] {
+						t.Errorf("p%d: component %d regressed %d -> %d", pid, q, last[q], v)
+						return
+					}
+					last[q] = v
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+}
+
+func TestOptionsDoNotInterfere(t *testing.T) {
+	// Both substrate choices must agree on sequential behaviour.
+	for _, opts := range [][]SnapshotOption{nil, {WithWaitFreeSubstrate()}} {
+		s := NewSnapshot[string](2, "-", opts...)
+		s.Update(0, "x")
+		s.Update(1, "y")
+		s.Update(0, "z")
+		view := s.Scan(0)
+		if fmt.Sprint(view) != "[z y]" {
+			t.Errorf("opts=%v: view = %v", opts, view)
+		}
+	}
+}

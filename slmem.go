@@ -1,0 +1,242 @@
+// Package slmem provides lock-free strongly linearizable shared-memory
+// objects built only from atomic registers, implementing the algorithms of
+// "Strongly Linearizable Implementations of Snapshots and Other Types"
+// (Ovens and Woelfel, PODC 2019).
+//
+// Strong linearizability (Golab, Higham, Woelfel 2011) strengthens
+// linearizability with prefix preservation: once an operation has
+// linearized, its position in the linearization order never changes. This
+// is exactly the property randomized algorithms need under a strong
+// adversary — with merely linearizable objects, a scheduler that sees all
+// coin flips can retroactively reorder operations and skew outcome
+// distributions (see examples/adversary).
+//
+// The package offers:
+//
+//   - Snapshot: the paper's bounded-space lock-free strongly linearizable
+//     single-writer snapshot (Algorithm 3).
+//   - ABARegister: its building block, the lock-free strongly linearizable
+//     ABA-detecting register (Algorithm 2).
+//   - Counter and MaxRegister: strongly linearizable types derived from the
+//     snapshot (Section 4.5).
+//   - Object: the Aspnes–Herlihy universal construction, turning any simple
+//     type — any type whose operations pairwise commute or overwrite — into
+//     a lock-free strongly linearizable implementation (Theorem 3).
+//
+// Concurrency model: every method takes the calling process id
+// ("pid", 0 <= pid < n, fixed at construction). Each pid owns per-process
+// local state, so at most one goroutine may use a given pid at a time;
+// different pids may run fully concurrently. Handle is a convenience that
+// binds a pid.
+package slmem
+
+import (
+	"slmem/internal/aba"
+	"slmem/internal/core"
+	"slmem/internal/memory"
+	"slmem/internal/snapshot"
+	"slmem/internal/spec"
+	"slmem/internal/universal"
+)
+
+// SnapshotOption configures NewSnapshot.
+type SnapshotOption func(*snapshotConfig)
+
+type snapshotConfig struct {
+	waitFreeSubstrate bool
+}
+
+// WithWaitFreeSubstrate selects the wait-free Afek-style linearizable
+// snapshot as the substrate S instead of the default lock-free
+// double-collect one. Updates become wait-free at the cost of an embedded
+// scan per update; the composed object remains lock-free overall (its scans
+// still retry under contention on R).
+func WithWaitFreeSubstrate() SnapshotOption {
+	return func(c *snapshotConfig) { c.waitFreeSubstrate = true }
+}
+
+// Snapshot is a lock-free strongly linearizable single-writer snapshot: an
+// n-component vector where component p is writable only by process p and
+// Scan returns a consistent view of all components. It uses a bounded
+// number of registers (paper Theorem 2).
+type Snapshot[V comparable] struct {
+	inner *core.Snapshot[V]
+}
+
+// NewSnapshot constructs a snapshot for n processes with every component
+// initialized to initial.
+func NewSnapshot[V comparable](n int, initial V, opts ...SnapshotOption) *Snapshot[V] {
+	var cfg snapshotConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var alloc memory.NativeAllocator
+	if !cfg.waitFreeSubstrate {
+		return &Snapshot[V]{inner: core.New[V](&alloc, n, initial)}
+	}
+	s := snapshot.NewAfek[V](&alloc, n, initial)
+	initView := make([]V, n)
+	for i := range initView {
+		initView[i] = initial
+	}
+	r := aba.NewStrongFunc(&alloc, n, initView, func(a, b []V) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	})
+	return &Snapshot[V]{inner: core.NewWith[V](n, s, r)}
+}
+
+// Update sets component pid to x, as process pid. Wait-free given a
+// wait-free substrate; a constant number of substrate operations.
+func (s *Snapshot[V]) Update(pid int, x V) { s.inner.Update(pid, x) }
+
+// Scan returns a copy of the component vector, as process pid. Lock-free.
+func (s *Snapshot[V]) Scan(pid int) []V { return s.inner.Scan(pid) }
+
+// Handle binds a process id for convenience.
+func (s *Snapshot[V]) Handle(pid int) SnapshotHandle[V] {
+	return SnapshotHandle[V]{s: s, pid: pid}
+}
+
+// SnapshotHandle is a Snapshot bound to one process id. At most one
+// goroutine may use a handle (and its pid) at a time.
+type SnapshotHandle[V comparable] struct {
+	s   *Snapshot[V]
+	pid int
+}
+
+// Update sets this process's component to x.
+func (h SnapshotHandle[V]) Update(x V) { h.s.Update(h.pid, x) }
+
+// Scan returns a copy of the component vector.
+func (h SnapshotHandle[V]) Scan() []V { return h.s.Scan(h.pid) }
+
+// PID returns the bound process id.
+func (h SnapshotHandle[V]) PID() int { return h.pid }
+
+// ABARegister is a lock-free strongly linearizable ABA-detecting register
+// (paper Theorem 1): a register whose DRead additionally reports whether any
+// DWrite occurred since the calling process's previous DRead — even if the
+// value is unchanged (the ABA problem).
+type ABARegister[V comparable] struct {
+	inner *aba.Strong[V]
+}
+
+// NewABARegister constructs an ABA-detecting register for n processes,
+// initialized to initial.
+func NewABARegister[V comparable](n int, initial V) *ABARegister[V] {
+	var alloc memory.NativeAllocator
+	return &ABARegister[V]{inner: aba.NewStrong[V](&alloc, n, initial)}
+}
+
+// DWrite writes x as process pid. Wait-free: exactly two shared steps.
+func (r *ABARegister[V]) DWrite(pid int, x V) { r.inner.DWrite(pid, x) }
+
+// DRead returns the current value and whether any DWrite happened since
+// this process's previous DRead (or since initialization). Lock-free.
+func (r *ABARegister[V]) DRead(pid int) (V, bool) { return r.inner.DRead(pid) }
+
+// Counter is a lock-free strongly linearizable counter using a bounded
+// number of registers (paper Section 4.5).
+type Counter struct {
+	inner *core.Counter
+}
+
+// NewCounter constructs a counter for n processes, starting at zero.
+func NewCounter(n int) *Counter {
+	var alloc memory.NativeAllocator
+	return &Counter{inner: core.NewCounter(&alloc, n)}
+}
+
+// Inc increments the counter as process pid.
+func (c *Counter) Inc(pid int) { c.inner.Inc(pid) }
+
+// Read returns the current count as process pid.
+func (c *Counter) Read(pid int) uint64 { return c.inner.Read(pid) }
+
+// MaxRegister is a lock-free strongly linearizable unbounded max-register
+// using a bounded number of registers (paper Section 4.5).
+type MaxRegister struct {
+	inner *core.MaxRegister
+}
+
+// NewMaxRegister constructs a max-register for n processes, initially 0.
+func NewMaxRegister(n int) *MaxRegister {
+	var alloc memory.NativeAllocator
+	return &MaxRegister{inner: core.NewMaxRegister(&alloc, n)}
+}
+
+// MaxWrite raises the register to v if v exceeds its current value.
+func (m *MaxRegister) MaxWrite(pid int, v uint64) { m.inner.MaxWrite(pid, v) }
+
+// MaxRead returns the largest value ever written.
+func (m *MaxRegister) MaxRead(pid int) uint64 { return m.inner.MaxRead(pid) }
+
+// Spec is a deterministic sequential specification: a state machine over
+// canonical string states, invocations (e.g. "add(x)"), and responses.
+type Spec = spec.Spec
+
+// SimpleType describes a simple type (paper Definition 33): a sequential
+// specification plus the commute/overwrite calculus over invocations. Every
+// simple type gets a lock-free strongly linearizable implementation through
+// NewObject (paper Theorem 3).
+type SimpleType = universal.Type
+
+// Provided simple types for NewObject.
+type (
+	// CounterType: inc()/read().
+	CounterType = universal.CounterType
+	// SetType: add(x)/contains(x), a grow-only set.
+	SetType = universal.SetType
+	// AccumulatorType: addTo(x)/read(), a commutative integer accumulator.
+	AccumulatorType = universal.AccumulatorType
+	// MaxRegType: maxWrite(x)/maxRead().
+	MaxRegType = universal.MaxRegType
+	// RegisterType: write(x)/read(), a multi-writer register.
+	RegisterType = universal.RegisterType
+	// SnapshotType: update(x)/scan() over N single-writer components.
+	SnapshotType = universal.SnapshotType
+	// FuncType builds a custom simple type from closures; pair it with
+	// FuncSpec for the sequential specification. Validate custom types with
+	// ValidateSimple before use.
+	FuncType = universal.FuncType
+	// FuncSpec builds a sequential specification from closures.
+	FuncSpec = universal.FuncSpec
+)
+
+// Object is a lock-free strongly linearizable implementation of a simple
+// type via the Aspnes–Herlihy universal construction over the strongly
+// linearizable snapshot. Note that the shared history grows with every
+// operation (the construction is wait-free but not bounded wait-free).
+type Object struct {
+	inner *universal.Object
+}
+
+// NewObject constructs an implementation of the simple type for n processes.
+func NewObject(t SimpleType, n int) *Object {
+	var alloc memory.NativeAllocator
+	return &Object{inner: universal.New(&alloc, t, n)}
+}
+
+// Execute performs the invocation (e.g. "add(x)") as process pid and
+// returns its response.
+func (o *Object) Execute(pid int, invocation string) (string, error) {
+	return o.inner.Execute(pid, invocation)
+}
+
+// ValidateSimple checks that the type's invocations pairwise commute or
+// overwrite (Definition 33) over the given invocation and pid samples.
+func ValidateSimple(t SimpleType, invocations []string, pids []int) error {
+	return universal.ValidateSimple(t, invocations, pids)
+}
+
+// Bot is the canonical encoding of an unset value (the paper's ⊥) used by
+// the string-typed specifications.
+const Bot = spec.Bot
