@@ -6,6 +6,7 @@
 package slmem
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -257,6 +258,65 @@ func BenchmarkMaxRegister(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			m.MaxRead(0)
+		}
+	})
+}
+
+// --- E9 companion: lease overhead on the counter hot path ---------------------
+//
+// The pooled path wraps every operation in a pid lease (internal/runtime).
+// The pooled/direct pairs measure that bridge's overhead; the service
+// runtime budgets it at well under 2x the direct Inc cost.
+
+func BenchmarkPooledCounter(b *testing.B) {
+	n := benchN()
+	ctx := context.Background()
+	b.Run("inc-direct", func(b *testing.B) {
+		c := NewCounter(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc(0)
+		}
+	})
+	b.Run("inc-pooled", func(b *testing.B) {
+		c := NewPooledCounter(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Inc(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("inc-direct-parallel", func(b *testing.B) {
+		c := NewCounter(n)
+		pool := &pidPool{n: n}
+		b.RunParallel(func(pb *testing.PB) {
+			pid := pool.get()
+			for pb.Next() {
+				c.Inc(pid)
+			}
+		})
+	})
+	b.Run("inc-pooled-parallel", func(b *testing.B) {
+		c := NewPooledCounter(n)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := c.Inc(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("acquire-release", func(b *testing.B) {
+		// The lease round trip alone, for attributing pooled-path cost.
+		p := NewPIDPool(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pid, err := p.Acquire(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Release(pid)
 		}
 	})
 }

@@ -7,6 +7,7 @@
 //	slbench            # run every experiment
 //	slbench -e E2,E5   # run selected experiments
 //	slbench -md        # emit markdown tables
+//	slbench -json      # emit a one-line JSON perf summary (for BENCH_*.json)
 package main
 
 import (
@@ -29,11 +30,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("slbench", flag.ContinueOnError)
 	var (
-		only     = fs.String("e", "", "comma-separated experiment ids to run (e.g. E1,E5); default all")
-		markdown = fs.Bool("md", false, "emit markdown instead of aligned text")
+		only      = fs.String("e", "", "comma-separated experiment ids to run (e.g. E1,E5); default all")
+		markdown  = fs.Bool("md", false, "emit markdown instead of aligned text")
+		jsonOut   = fs.Bool("json", false, "emit a one-line machine-readable perf summary instead of experiment tables")
+		probeTime = fs.Duration("probetime", 50*time.Millisecond, "per-probe measuring time for -json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSONSummary(os.Stdout, *probeTime)
 	}
 
 	experiments := []struct {
@@ -47,6 +53,7 @@ func run(args []string) error {
 		{"E5", harness.E5SpaceGrowth},
 		{"E6", harness.E6Universal},
 		{"E8", harness.E8Starvation},
+		{"E9", harness.E9LeaseSoak},
 	}
 
 	selected := make(map[string]bool)

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunSelected(t *testing.T) {
@@ -37,5 +40,37 @@ func TestRunBadFlag(t *testing.T) {
 func TestSelectionCaseInsensitive(t *testing.T) {
 	if err := run([]string{"-e", "e4"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunE9(t *testing.T) {
+	if err := run([]string{"-e", "E9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitJSONSummary(&buf, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimRight(buf.String(), "\n")
+	if strings.ContainsRune(line, '\n') {
+		t.Fatalf("summary is not one line:\n%s", line)
+	}
+	var sum perfSummary
+	if err := json.Unmarshal([]byte(line), &sum); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, line)
+	}
+	if sum.Schema != "slbench/v1" {
+		t.Errorf("schema = %q", sum.Schema)
+	}
+	if len(sum.Probes) < 4 {
+		t.Fatalf("only %d probes", len(sum.Probes))
+	}
+	for _, p := range sum.Probes {
+		if p.Ops <= 0 || p.NsPerOp <= 0 || p.Registers <= 0 {
+			t.Errorf("probe %q has empty fields: %+v", p.Name, p)
+		}
 	}
 }

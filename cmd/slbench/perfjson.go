@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"slmem/internal/core"
+	"slmem/internal/memory"
+	slruntime "slmem/internal/runtime"
+)
+
+// perfProbe is one measured hot path in the -json summary.
+type perfProbe struct {
+	// Name identifies the path, e.g. "counter/inc-direct".
+	Name string `json:"name"`
+	// Ops is how many operations the probe completed.
+	Ops int64 `json:"ops"`
+	// NsPerOp is the mean wall-clock cost of one operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Registers is how many base registers the probed object allocated —
+	// the paper's space metric (constant for the bounded algorithms).
+	Registers int `json:"registers"`
+}
+
+// perfSummary is the one-line JSON document emitted by -json, for recording
+// as BENCH_*.json and diffing across PRs.
+type perfSummary struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	ProbeMs    int64       `json:"probe_ms"`
+	Probes     []perfProbe `json:"probes"`
+}
+
+// measure runs op in a tight loop for roughly d and returns the op count
+// and mean ns/op.
+func measure(d time.Duration, op func()) (int64, float64) {
+	const batch = 64
+	var ops int64
+	start := time.Now()
+	for {
+		for i := 0; i < batch; i++ {
+			op()
+		}
+		ops += batch
+		if time.Since(start) >= d {
+			break
+		}
+	}
+	return ops, float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+// emitJSONSummary measures the service-relevant hot paths — direct (caller
+// manages the pid) and pooled (a lease per operation) — and writes one JSON
+// line. The pooled/direct pairs quantify the lease overhead the runtime
+// layer adds; bench_test.go carries the full benchmark suite.
+func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
+	const n = 8
+	ctx := context.Background()
+	var probes []perfProbe
+
+	add := func(name string, registers int, op func()) {
+		ops, nsPerOp := measure(probeTime, op)
+		probes = append(probes, perfProbe{Name: name, Ops: ops, NsPerOp: nsPerOp, Registers: registers})
+	}
+
+	{
+		var alloc memory.NativeAllocator
+		c := core.NewCounter(&alloc, n)
+		add("counter/inc-direct", alloc.Registers(), func() { c.Inc(0) })
+	}
+	{
+		var alloc memory.NativeAllocator
+		c := core.NewCounter(&alloc, n)
+		l := slruntime.NewLeaser(n)
+		add("counter/inc-pooled", alloc.Registers(), func() {
+			l.With(ctx, func(pid int) error { c.Inc(pid); return nil })
+		})
+	}
+	{
+		var alloc memory.NativeAllocator
+		s := core.New[uint64](&alloc, n, 0)
+		add("snapshot/update-direct", alloc.Registers(), func() { s.Update(0, 1) })
+	}
+	{
+		var alloc memory.NativeAllocator
+		s := core.New[uint64](&alloc, n, 0)
+		l := slruntime.NewLeaser(n)
+		add("snapshot/scan-pooled", alloc.Registers(), func() {
+			l.With(ctx, func(pid int) error { s.Scan(pid); return nil })
+		})
+	}
+
+	sum := perfSummary{
+		Schema:     "slbench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		ProbeMs:    probeTime.Milliseconds(),
+		Probes:     probes,
+	}
+	enc, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(enc))
+	return err
+}

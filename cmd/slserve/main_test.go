@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"slmem/internal/registry"
+	"slmem/internal/server"
+)
+
+func testServer(t *testing.T, procs int) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(registry.Options{Procs: procs, Shards: 4}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, client *http.Client, url string, body any) (int, server.Response) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := client.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var r server.Response
+	if err := json.NewDecoder(res.Body).Decode(&r); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return res.StatusCode, r
+}
+
+func TestCounterRoundTrip(t *testing.T) {
+	ts := testServer(t, 4)
+	for i := 0; i < 3; i++ {
+		if code, r := post(t, ts.Client(), ts.URL+"/v1/counter/clicks/inc", nil); code != 200 || !r.OK {
+			t.Fatalf("inc: code=%d resp=%+v", code, r)
+		}
+	}
+	code, r := post(t, ts.Client(), ts.URL+"/v1/counter/clicks/read", nil)
+	if code != 200 || r.Value != "3" {
+		t.Fatalf("read: code=%d resp=%+v, want value 3", code, r)
+	}
+}
+
+func TestMaxRegRoundTrip(t *testing.T) {
+	ts := testServer(t, 4)
+	for _, v := range []string{"5", "9", "2"} {
+		if code, r := post(t, ts.Client(), ts.URL+"/v1/maxreg/peak/write", server.Request{Value: v}); code != 200 || !r.OK {
+			t.Fatalf("write %s: code=%d resp=%+v", v, code, r)
+		}
+	}
+	code, r := post(t, ts.Client(), ts.URL+"/v1/maxreg/peak/read", nil)
+	if code != 200 || r.Value != "9" {
+		t.Fatalf("read: code=%d resp=%+v, want value 9", code, r)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ts := testServer(t, 4)
+	if code, r := post(t, ts.Client(), ts.URL+"/v1/snapshot/board/update", server.Request{Value: "hello"}); code != 200 || !r.OK {
+		t.Fatalf("update: code=%d resp=%+v", code, r)
+	}
+	code, r := post(t, ts.Client(), ts.URL+"/v1/snapshot/board/scan", nil)
+	if code != 200 || len(r.View) != 4 {
+		t.Fatalf("scan: code=%d resp=%+v, want 4-component view", code, r)
+	}
+	found := false
+	for _, v := range r.View {
+		found = found || v == "hello"
+	}
+	if !found {
+		t.Fatalf("update not visible in view %v", r.View)
+	}
+}
+
+func TestObjectExecute(t *testing.T) {
+	ts := testServer(t, 4)
+	add := server.Request{Type: "set", Invocation: "add(7)"}
+	if code, r := post(t, ts.Client(), ts.URL+"/v1/object/bag/execute", add); code != 200 || !r.OK {
+		t.Fatalf("add: code=%d resp=%+v", code, r)
+	}
+	has := server.Request{Type: "set", Invocation: "contains(7)"}
+	code, r := post(t, ts.Client(), ts.URL+"/v1/object/bag/execute", has)
+	if code != 200 || r.Value != "true" {
+		t.Fatalf("contains: code=%d resp=%+v, want true", code, r)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	ts := testServer(t, 2)
+	client := ts.Client()
+	cases := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"unknown kind", "/v1/stack/s/push", nil, 404},
+		{"unknown op", "/v1/counter/c/dec", nil, 404},
+		{"bad maxreg value", "/v1/maxreg/m/write", server.Request{Value: "seven"}, 400},
+		{"bad object type", "/v1/object/o/execute", server.Request{Type: "queue", Invocation: "x()"}, 400},
+		{"bad invocation", "/v1/object/o2/execute", server.Request{Type: "set", Invocation: "frob(1)"}, 400},
+	}
+	for _, tc := range cases {
+		code, r := post(t, client, ts.URL+tc.url, tc.body)
+		if code != tc.want || r.OK || r.Error == "" {
+			t.Errorf("%s: code=%d resp=%+v, want status %d with error", tc.name, code, r, tc.want)
+		}
+	}
+
+	// None of the failing requests above may have registered an object —
+	// the registry has no eviction, so that would be a memory leak vector.
+	res0, err := client.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st0 server.Stats
+	if err := json.NewDecoder(res0.Body).Decode(&st0); err != nil {
+		t.Fatal(err)
+	}
+	res0.Body.Close()
+	for kind, count := range st0.Registry.Objects {
+		if count != 0 {
+			t.Errorf("failing requests created %d %s object(s)", count, kind)
+		}
+	}
+
+	// Type mismatch against an existing object.
+	if code, _ := post(t, client, ts.URL+"/v1/object/o2/execute", server.Request{Type: "set", Invocation: "add(1)"}); code != 200 {
+		t.Fatalf("priming object: code=%d", code)
+	}
+	if code, _ := post(t, client, ts.URL+"/v1/object/o2/execute", server.Request{Type: "register", Invocation: "read()"}); code != 409 {
+		t.Errorf("type mismatch: code=%d, want 409", code)
+	}
+
+	// Malformed JSON body.
+	res, err := client.Post(ts.URL+"/v1/counter/c/inc", "application/json", bytes.NewBufferString("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != 400 {
+		t.Errorf("malformed body: code=%d, want 400", res.StatusCode)
+	}
+
+	// Operation endpoints are POST-only.
+	res, err = client.Get(ts.URL + "/v1/counter/c/read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != 405 {
+		t.Errorf("GET on op endpoint: code=%d, want 405", res.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t, 4)
+	post(t, ts.Client(), ts.URL+"/v1/counter/c/inc", nil)
+	post(t, ts.Client(), ts.URL+"/v1/snapshot/s/scan", nil)
+
+	res, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests < 2 {
+		t.Errorf("requests = %d, want >= 2", st.Requests)
+	}
+	if st.Ops["counter"] != 1 || st.Ops["snapshot"] != 1 {
+		t.Errorf("ops = %v, want counter and snapshot counted once each", st.Ops)
+	}
+	if st.Registry.Procs != 4 {
+		t.Errorf("registry procs = %d, want 4", st.Registry.Procs)
+	}
+	if st.Registry.PIDsInUse != 0 {
+		t.Errorf("pids in use at rest = %d, want 0", st.Registry.PIDsInUse)
+	}
+}
+
+// TestConcurrentSwarm is the acceptance scenario: 64 concurrent HTTP
+// clients hammer one shared counter and one shared snapshot through a
+// server whose pid pool is much smaller than the client count, so every
+// request path — lease fast path, stealing, and FIFO blocking — is
+// exercised. The counter must not lose an increment and no pid may leak.
+func TestConcurrentSwarm(t *testing.T) {
+	const clients = 64
+	opsPerClient := 24
+	if testing.Short() {
+		opsPerClient = 8
+	}
+	ts := testServer(t, 8) // 8 pids serving 64 clients: heavy lease contention
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: clients}
+
+	incsPerClient := 0
+	for i := 0; i < opsPerClient; i++ {
+		if i%3 != 2 {
+			incsPerClient++
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				var code int
+				var r server.Response
+				switch i % 3 {
+				case 0, 1:
+					code, r = post(t, client, ts.URL+"/v1/counter/shared/inc", nil)
+				default:
+					code, r = post(t, client, ts.URL+"/v1/snapshot/shared/update",
+						server.Request{Value: fmt.Sprintf("c%d-%d", c, i)})
+					if code == 200 {
+						code, r = post(t, client, ts.URL+"/v1/snapshot/shared/scan", nil)
+					}
+				}
+				if code != 200 || !r.OK {
+					errs <- fmt.Errorf("client %d op %d: code=%d resp=%+v", c, i, code, r)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	code, r := post(t, client, ts.URL+"/v1/counter/shared/read", nil)
+	if code != 200 {
+		t.Fatalf("final read: code=%d", code)
+	}
+	want := strconv.Itoa(clients * incsPerClient)
+	if r.Value != want {
+		t.Fatalf("final count = %s, want %s (lost increments)", r.Value, want)
+	}
+
+	res, err := client.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Registry.PIDsInUse != 0 {
+		t.Fatalf("pids leaked: %d in use after swarm", st.Registry.PIDsInUse)
+	}
+	if st.Failures != 0 {
+		t.Fatalf("server recorded %d failures", st.Failures)
+	}
+	t.Logf("swarm: %d requests, pool=%+v", st.Requests, st.Registry.Pool)
+}

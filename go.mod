@@ -1,0 +1,3 @@
+module slmem
+
+go 1.24

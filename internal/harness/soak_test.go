@@ -1,0 +1,34 @@
+package harness
+
+import "testing"
+
+// TestSoakLeases drives the pid-lease soak under whatever detector the test
+// run enables; CI runs it with -race, where an ownership violation in the
+// leaser would surface as a data race inside the counter's per-pid state.
+func TestSoakLeases(t *testing.T) {
+	procs, goroutines, ops := 8, 64, 120
+	if testing.Short() {
+		procs, goroutines, ops = 4, 24, 40
+	}
+	rep, err := SoakLeases(procs, goroutines, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Final != uint64(rep.Incs) {
+		t.Fatalf("final = %d, want %d", rep.Final, rep.Incs)
+	}
+	if got := rep.Stats.Acquires; got < rep.Incs {
+		t.Fatalf("acquires = %d < %d incs", got, rep.Incs)
+	}
+	t.Logf("soak: %+v", rep)
+}
+
+func TestE9LeaseSoak(t *testing.T) {
+	tbl, err := E9LeaseSoak()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("E9 produced %d rows, want 3", len(tbl.Rows))
+	}
+}

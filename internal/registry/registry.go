@@ -1,0 +1,260 @@
+// Package registry provides a named-object registry: a concurrent,
+// sharded map from (kind, name) to lazily created strongly linearizable
+// objects, all leasing process ids from one shared pool. It is the state
+// layer of cmd/slserve — callers name an object ("counter/clicks",
+// "snapshot/board") and get back a pooled handle any goroutine can use.
+package registry
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"slmem"
+)
+
+// Kind names the object kinds the registry can create.
+type Kind string
+
+// Supported object kinds.
+const (
+	KindCounter     Kind = "counter"
+	KindMaxRegister Kind = "maxreg"
+	KindSnapshot    Kind = "snapshot"
+	KindObject      Kind = "object"
+)
+
+// Kinds lists the supported kinds in stable order.
+func Kinds() []Kind {
+	return []Kind{KindCounter, KindMaxRegister, KindSnapshot, KindObject}
+}
+
+// objectType maps the type names accepted by Object to their simple types.
+// Counter-like and max-register-like workloads also have dedicated kinds
+// with cheaper snapshot-derived implementations; the universal construction
+// carries the rest.
+func objectType(typeName string) (slmem.SimpleType, error) {
+	switch typeName {
+	case "set":
+		return slmem.SetType{}, nil
+	case "accumulator":
+		return slmem.AccumulatorType{}, nil
+	case "register":
+		return slmem.RegisterType{}, nil
+	case "counter":
+		return slmem.CounterType{}, nil
+	case "maxreg":
+		return slmem.MaxRegType{}, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown object type %q (want set, accumulator, register, counter, or maxreg)", typeName)
+	}
+}
+
+// ObjectTypeNames lists the type names accepted by Object.
+func ObjectTypeNames() []string {
+	return []string{"accumulator", "counter", "maxreg", "register", "set"}
+}
+
+// ValidateInvocation checks that invocation is well-formed for the named
+// object type by dry-running it against the type's sequential specification
+// from its initial state, without creating or touching any object. The
+// provided simple types accept or reject an invocation independent of
+// state, so this predicts exactly what Execute would say. It lets callers
+// reject doomed requests before lazily registering an object for them.
+func ValidateInvocation(typeName, invocation string) error {
+	t, err := objectType(typeName)
+	if err != nil {
+		return err
+	}
+	sp := t.Spec()
+	if _, _, err := sp.Apply(sp.Initial(), 0, invocation); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Options configure a Registry.
+type Options struct {
+	// Procs is the size n of the process pool shared by every object. It
+	// bounds the number of concurrently executing operations. Defaults to 16.
+	Procs int
+	// Shards is the number of map shards. Defaults to 16.
+	Shards int
+}
+
+// Registry is a concurrent map from (kind, name) to pooled strongly
+// linearizable objects, created lazily on first use. All objects share one
+// PIDPool of Procs ids, so the registry as a whole admits at most Procs
+// concurrent operations — the paper's fixed-n model surfaces as a natural
+// admission limit.
+type Registry struct {
+	procs  int
+	pool   *slmem.PIDPool
+	seed   maphash.Seed
+	shards []shard
+
+	created [4]atomic.Int64 // objects created, indexed by kindIndex
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// New constructs a registry.
+func New(opts Options) *Registry {
+	if opts.Procs <= 0 {
+		opts.Procs = 16
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 16
+	}
+	r := &Registry{
+		procs:  opts.Procs,
+		pool:   slmem.NewPIDPool(opts.Procs),
+		seed:   maphash.MakeSeed(),
+		shards: make([]shard, opts.Shards),
+	}
+	for i := range r.shards {
+		r.shards[i].m = make(map[string]any)
+	}
+	return r
+}
+
+// Procs returns the size of the shared process pool.
+func (r *Registry) Procs() int { return r.procs }
+
+// Pool returns the shared pid pool (for metrics and direct leasing).
+func (r *Registry) Pool() *slmem.PIDPool { return r.pool }
+
+// KindIndex maps a kind to a dense index in [0, len(Kinds())), for
+// fixed-size per-kind counters here and in callers.
+func KindIndex(k Kind) int {
+	switch k {
+	case KindCounter:
+		return 0
+	case KindMaxRegister:
+		return 1
+	case KindSnapshot:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func (r *Registry) shard(key string) *shard {
+	h := maphash.String(r.seed, key)
+	return &r.shards[h%uint64(len(r.shards))]
+}
+
+// get returns the object stored under key, lazily creating it with mk. The
+// fast path is a shard read-lock; creation double-checks under the write
+// lock so concurrent first uses agree on one object.
+func (r *Registry) get(kind Kind, name string, mk func() any) any {
+	key := string(kind) + "/" + name
+	s := r.shard(key)
+	s.mu.RLock()
+	obj, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		return obj
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj, ok := s.m[key]; ok {
+		return obj
+	}
+	obj = mk()
+	s.m[key] = obj
+	r.created[KindIndex(kind)].Add(1)
+	return obj
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *slmem.PooledCounter {
+	return r.get(KindCounter, name, func() any {
+		return slmem.NewCounter(r.procs).Pooled(r.pool)
+	}).(*slmem.PooledCounter)
+}
+
+// MaxRegister returns the named max-register, creating it on first use.
+func (r *Registry) MaxRegister(name string) *slmem.PooledMaxRegister {
+	return r.get(KindMaxRegister, name, func() any {
+		return slmem.NewMaxRegister(r.procs).Pooled(r.pool)
+	}).(*slmem.PooledMaxRegister)
+}
+
+// Snapshot returns the named snapshot of string components, creating it on
+// first use. Its components number Procs: one slot per process id.
+func (r *Registry) Snapshot(name string) *slmem.Pool[string] {
+	return r.get(KindSnapshot, name, func() any {
+		return slmem.NewSnapshot[string](r.procs, "").Pooled(r.pool)
+	}).(*slmem.Pool[string])
+}
+
+// Object returns the named universal-construction object of the given
+// simple type, creating it on first use. Subsequent calls must name the
+// same type.
+func (r *Registry) Object(name, typeName string) (*slmem.PooledObject, error) {
+	t, err := objectType(typeName)
+	if err != nil {
+		return nil, err
+	}
+	type typed struct {
+		typeName string
+		obj      *slmem.PooledObject
+	}
+	got := r.get(KindObject, name, func() any {
+		return typed{typeName, slmem.NewObject(t, r.procs).Pooled(r.pool)}
+	}).(typed)
+	if got.typeName != typeName {
+		return nil, fmt.Errorf("registry: object %q already exists with type %q, not %q", name, got.typeName, typeName)
+	}
+	return got.obj, nil
+}
+
+// Names returns the names registered under kind, sorted.
+func (r *Registry) Names(kind Kind) []string {
+	prefix := string(kind) + "/"
+	var names []string
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for key := range s.m {
+			if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+				names = append(names, key[len(prefix):])
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats is a point-in-time summary of the registry.
+type Stats struct {
+	// Procs is the shared pool size.
+	Procs int `json:"procs"`
+	// PIDsInUse is how many process ids are leased right now.
+	PIDsInUse int `json:"pids_in_use"`
+	// Objects counts created objects by kind.
+	Objects map[string]int64 `json:"objects"`
+	// Pool reports how lease acquisitions were served.
+	Pool slmem.PoolStats `json:"pool"`
+}
+
+// Stats returns a snapshot of registry-wide metrics.
+func (r *Registry) Stats() Stats {
+	objects := make(map[string]int64, 4)
+	for _, k := range Kinds() {
+		objects[string(k)] = r.created[KindIndex(k)].Load()
+	}
+	return Stats{
+		Procs:     r.procs,
+		PIDsInUse: r.pool.InUse(),
+		Objects:   objects,
+		Pool:      r.pool.Stats(),
+	}
+}

@@ -1,0 +1,353 @@
+// Package runtime bridges the paper's fixed-process model to ordinary Go
+// programs. Every object in this module follows the paper's concurrency
+// model: n processes with pre-assigned ids 0..n-1, each id used by at most
+// one thread at a time. Go services have no such processes — goroutines come
+// and go — so the Leaser manages short-lived leases of ids from the fixed
+// pool: a goroutine acquires a pid, performs operations as that process, and
+// releases it.
+//
+// The design goals, in order: correctness of the ownership invariant (a pid
+// is held by at most one goroutine between Acquire and Release), a cheap
+// uncontended fast path (striped free lists with per-P affinity via
+// sync.Pool hints), and well-behaved saturation (FIFO blocking with context
+// cancellation instead of spinning).
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Leaser hands out leases of process ids 0..n-1.
+//
+// Free ids live in stripes, each guarded by its own mutex, so concurrent
+// acquirers on different Ps rarely touch the same cache line. A sync.Pool of
+// stripe hints gives each P a sticky home stripe: sync.Pool's per-P caching
+// means a goroutine usually gets back the hint last used on its P, keeping a
+// pid close to the core that last used it. When every stripe is empty,
+// acquirers queue FIFO and releases hand ids directly to the oldest waiter.
+type Leaser struct {
+	n       int
+	stripes []stripe
+
+	// holders tracks the ownership invariant: holders[pid] is 1 exactly while
+	// pid is leased. Transitions are CASed so misuse (double release, release
+	// of a never-acquired pid) fails loudly instead of corrupting per-process
+	// state of the objects above.
+	holders []atomic.Int32
+	inUse   atomic.Int64
+
+	qmu     sync.Mutex
+	waiters waiterQueue
+
+	hints    sync.Pool
+	hintSeed atomic.Uint32
+
+	stats LeaserStats
+}
+
+// stripe is one shard of the free list; the trailing pad keeps neighbouring
+// stripes off one cache line.
+type stripe struct {
+	mu   sync.Mutex
+	free []int
+	_    [40]byte
+}
+
+type waiter struct {
+	ch   chan int
+	next *waiter
+}
+
+// waiterQueue is an intrusive FIFO list of blocked acquirers.
+type waiterQueue struct {
+	head, tail *waiter
+}
+
+func (q *waiterQueue) push(w *waiter) {
+	if q.tail == nil {
+		q.head, q.tail = w, w
+		return
+	}
+	q.tail.next = w
+	q.tail = w
+}
+
+func (q *waiterQueue) pop() *waiter {
+	w := q.head
+	if w == nil {
+		return nil
+	}
+	q.head = w.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	w.next = nil
+	return w
+}
+
+func (q *waiterQueue) remove(target *waiter) bool {
+	var prev *waiter
+	for w := q.head; w != nil; w = w.next {
+		if w == target {
+			if prev == nil {
+				q.head = w.next
+			} else {
+				prev.next = w.next
+			}
+			if q.tail == w {
+				q.tail = prev
+			}
+			w.next = nil
+			return true
+		}
+		prev = w
+	}
+	return false
+}
+
+// LeaserStats are monotone counters exposed for monitoring. Read them with
+// Stats; they are updated atomically and individually, so a snapshot is not
+// a consistent cut (fine for metrics).
+type LeaserStats struct {
+	// Acquires counts successful lease acquisitions.
+	Acquires atomic.Int64
+	// FastPath counts acquisitions satisfied by the acquirer's home stripe.
+	FastPath atomic.Int64
+	// Steals counts acquisitions satisfied by scanning another stripe.
+	Steals atomic.Int64
+	// Blocks counts acquisitions that had to queue behind an empty pool.
+	Blocks atomic.Int64
+	// Cancels counts acquisitions abandoned via context.
+	Cancels atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of LeaserStats.
+type StatsSnapshot struct {
+	Acquires, FastPath, Steals, Blocks, Cancels int64
+}
+
+// NewLeaser constructs a leaser over ids 0..n-1 with a stripe count scaled
+// to the pool size (next power of two, capped at 64). n must be positive.
+func NewLeaser(n int) *Leaser {
+	return NewLeaserStripes(n, 0)
+}
+
+// NewLeaserStripes is NewLeaser with an explicit stripe count (0 means
+// automatic). More stripes reduce contention but slow the empty-pool scan.
+func NewLeaserStripes(n, stripes int) *Leaser {
+	if n <= 0 {
+		panic(fmt.Sprintf("runtime: leaser needs n > 0, got %d", n))
+	}
+	if stripes <= 0 {
+		stripes = defaultStripes(n)
+	}
+	if stripes > n {
+		stripes = n
+	}
+	l := &Leaser{
+		n:       n,
+		stripes: make([]stripe, stripes),
+		holders: make([]atomic.Int32, n),
+	}
+	l.hints.New = func() any {
+		h := new(uint32)
+		*h = l.hintSeed.Add(1) - 1
+		return h
+	}
+	// Deal ids round-robin so every stripe starts non-empty.
+	for pid := n - 1; pid >= 0; pid-- {
+		s := &l.stripes[pid%stripes]
+		s.free = append(s.free, pid)
+	}
+	return l
+}
+
+func defaultStripes(n int) int {
+	s := 1
+	for s < n && s < 64 {
+		s <<= 1
+	}
+	if s > n {
+		s >>= 1
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Size returns the number of process ids managed.
+func (l *Leaser) Size() int { return l.n }
+
+// InUse returns the number of ids currently leased.
+func (l *Leaser) InUse() int { return int(l.inUse.Load()) }
+
+// Held returns the ids currently leased, in ascending order. Intended for
+// leak detection in tests and for diagnostics; the result is a snapshot and
+// may be stale by the time it returns.
+func (l *Leaser) Held() []int {
+	var held []int
+	for pid := range l.holders {
+		if l.holders[pid].Load() == 1 {
+			held = append(held, pid)
+		}
+	}
+	return held
+}
+
+// Stats returns a copy of the monotone counters.
+func (l *Leaser) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Acquires: l.stats.Acquires.Load(),
+		FastPath: l.stats.FastPath.Load(),
+		Steals:   l.stats.Steals.Load(),
+		Blocks:   l.stats.Blocks.Load(),
+		Cancels:  l.stats.Cancels.Load(),
+	}
+}
+
+// TryAcquire leases an id without blocking. It reports false when every id
+// is leased.
+func (l *Leaser) TryAcquire() (int, bool) {
+	hint := l.hints.Get().(*uint32)
+	pid, home := l.scan(*hint)
+	*hint = home
+	l.hints.Put(hint)
+	if pid < 0 {
+		return 0, false
+	}
+	l.lease(pid)
+	return pid, true
+}
+
+// scan pops a free id starting from stripe hint, returning the id (or -1)
+// and the stripe it came from (to refresh the hint).
+func (l *Leaser) scan(hint uint32) (int, uint32) {
+	ns := uint32(len(l.stripes))
+	for i := uint32(0); i < ns; i++ {
+		idx := (hint + i) % ns
+		s := &l.stripes[idx]
+		s.mu.Lock()
+		if k := len(s.free); k > 0 {
+			pid := s.free[k-1]
+			s.free = s.free[:k-1]
+			s.mu.Unlock()
+			if i == 0 {
+				l.stats.FastPath.Add(1)
+			} else {
+				l.stats.Steals.Add(1)
+			}
+			return pid, idx
+		}
+		s.mu.Unlock()
+	}
+	return -1, hint
+}
+
+// Acquire leases an id, blocking while all ids are leased. It returns
+// ctx.Err() if the context is cancelled first. Waiters are served FIFO, so
+// acquisition is starvation-free as long as leases are released.
+func (l *Leaser) Acquire(ctx context.Context) (int, error) {
+	if pid, ok := l.TryAcquire(); ok {
+		return pid, nil
+	}
+	// Slow path: queue, then re-scan once under the queue lock. The re-scan
+	// closes the race where every stripe emptied before we queued but a
+	// Release ran in between (releases check the queue first, so a release
+	// after we enqueue will find us).
+	w := &waiter{ch: make(chan int, 1)}
+	l.qmu.Lock()
+	l.waiters.push(w)
+	l.qmu.Unlock()
+	if pid, ok := l.TryAcquire(); ok {
+		if l.dequeue(w) {
+			return pid, nil
+		}
+		// A release already handed us an id through the channel; keep that
+		// one and give the scanned one back (through Release, so it reaches
+		// the next waiter if one is queued).
+		l.Release(pid)
+		return <-w.ch, nil
+	}
+	l.stats.Blocks.Add(1)
+
+	select {
+	case pid := <-w.ch:
+		// The releasing goroutine transferred ownership directly: holders
+		// bookkeeping stayed leased throughout, only the holder changed.
+		l.stats.Acquires.Add(1)
+		return pid, nil
+	case <-ctx.Done():
+		if l.dequeue(w) {
+			l.stats.Cancels.Add(1)
+			return 0, ctx.Err()
+		}
+		// Lost the race: a release delivered an id while we were cancelling.
+		// Take it and put it back so it is not leaked.
+		l.Release(<-w.ch)
+		l.stats.Cancels.Add(1)
+		return 0, ctx.Err()
+	}
+}
+
+// dequeue removes w from the wait queue, reporting whether it was still
+// queued (false means a release already picked it and will send on w.ch).
+func (l *Leaser) dequeue(w *waiter) bool {
+	l.qmu.Lock()
+	defer l.qmu.Unlock()
+	return l.waiters.remove(w)
+}
+
+// Release returns a leased id to the pool. Releasing an id that is not
+// currently leased panics: it means two goroutines believed they owned the
+// same pid, which would have corrupted per-process state above.
+func (l *Leaser) Release(pid int) {
+	if pid < 0 || pid >= l.n {
+		panic(fmt.Sprintf("runtime: release of pid %d outside [0,%d)", pid, l.n))
+	}
+	// Hand off to a waiter first: ownership transfers without the id ever
+	// becoming free, so a TryAcquire cannot jump the queue.
+	l.qmu.Lock()
+	w := l.waiters.pop()
+	l.qmu.Unlock()
+	if w != nil {
+		w.ch <- pid
+		return
+	}
+	l.release(pid)
+}
+
+// release marks pid free and pushes it on its home stripe.
+func (l *Leaser) release(pid int) {
+	if !l.holders[pid].CompareAndSwap(1, 0) {
+		panic(fmt.Sprintf("runtime: pid %d released while not leased", pid))
+	}
+	l.inUse.Add(-1)
+	s := &l.stripes[pid%len(l.stripes)]
+	s.mu.Lock()
+	s.free = append(s.free, pid)
+	s.mu.Unlock()
+}
+
+// lease marks pid held after it was popped from a stripe.
+func (l *Leaser) lease(pid int) {
+	if !l.holders[pid].CompareAndSwap(0, 1) {
+		panic(fmt.Sprintf("runtime: pid %d acquired while already leased", pid))
+	}
+	l.inUse.Add(1)
+	l.stats.Acquires.Add(1)
+}
+
+// With acquires an id, runs fn as that process, and releases the id even if
+// fn panics.
+func (l *Leaser) With(ctx context.Context, fn func(pid int) error) error {
+	pid, err := l.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer l.Release(pid)
+	return fn(pid)
+}

@@ -1,0 +1,251 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLeaserHandsOutDistinctPids(t *testing.T) {
+	l := NewLeaser(8)
+	seen := make(map[int]bool)
+	for i := 0; i < 8; i++ {
+		pid, ok := l.TryAcquire()
+		if !ok {
+			t.Fatalf("TryAcquire %d failed with %d free", i, 8-i)
+		}
+		if pid < 0 || pid >= 8 {
+			t.Fatalf("pid %d out of range", pid)
+		}
+		if seen[pid] {
+			t.Fatalf("pid %d handed out twice", pid)
+		}
+		seen[pid] = true
+	}
+	if _, ok := l.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded with pool exhausted")
+	}
+	if got := l.InUse(); got != 8 {
+		t.Fatalf("InUse = %d, want 8", got)
+	}
+	for pid := range seen {
+		l.Release(pid)
+	}
+	if got := l.InUse(); got != 0 {
+		t.Fatalf("InUse after releases = %d, want 0", got)
+	}
+	if held := l.Held(); len(held) != 0 {
+		t.Fatalf("Held after releases = %v, want empty", held)
+	}
+}
+
+func TestLeaserAcquireBlocksUntilRelease(t *testing.T) {
+	l := NewLeaser(1)
+	pid, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan int)
+	go func() {
+		p, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- p
+	}()
+
+	select {
+	case p := <-got:
+		t.Fatalf("second Acquire returned %d before release", p)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	l.Release(pid)
+	select {
+	case p := <-got:
+		if p != pid {
+			t.Fatalf("handed pid %d, want %d", p, pid)
+		}
+		l.Release(p)
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Acquire never woke after Release")
+	}
+}
+
+func TestLeaserAcquireRespectsContext(t *testing.T) {
+	l := NewLeaser(1)
+	pid, _ := l.TryAcquire()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire error = %v, want DeadlineExceeded", err)
+	}
+
+	l.Release(pid)
+	// The cancelled waiter must not have consumed the release.
+	if p, ok := l.TryAcquire(); !ok {
+		t.Fatal("pid lost after cancelled Acquire")
+	} else {
+		l.Release(p)
+	}
+}
+
+func TestLeaserFIFOWakeup(t *testing.T) {
+	l := NewLeaser(1)
+	pid, _ := l.TryAcquire()
+
+	const waiters = 4
+	order := make(chan int, waiters)
+	var started sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		started.Add(1)
+		go func() {
+			// Stagger queueing so the FIFO order is deterministic.
+			time.Sleep(time.Duration(i+1) * 20 * time.Millisecond)
+			started.Done()
+			p, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			l.Release(p)
+		}()
+	}
+	started.Wait()
+	time.Sleep(120 * time.Millisecond) // let every waiter enqueue
+	l.Release(pid)
+	for want := 0; want < waiters; want++ {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("waiter %d woke before waiter %d", got, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d never woke", want)
+		}
+	}
+}
+
+func TestLeaserDoubleReleasePanics(t *testing.T) {
+	l := NewLeaser(2)
+	pid, _ := l.TryAcquire()
+	l.Release(pid)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	l.Release(pid)
+}
+
+func TestLeaserReleaseOutOfRangePanics(t *testing.T) {
+	l := NewLeaser(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range release did not panic")
+		}
+	}()
+	l.Release(7)
+}
+
+func TestLeaserWithReleasesOnPanic(t *testing.T) {
+	l := NewLeaser(1)
+	func() {
+		defer func() { recover() }()
+		_ = l.With(context.Background(), func(pid int) error {
+			panic("boom")
+		})
+	}()
+	if got := l.InUse(); got != 0 {
+		t.Fatalf("InUse after panicking With = %d, want 0", got)
+	}
+}
+
+func TestLeaserStripeCounts(t *testing.T) {
+	for _, tc := range []struct{ n, stripes int }{
+		{1, 0}, {2, 0}, {3, 0}, {7, 5}, {64, 0}, {200, 0}, {5, 100},
+	} {
+		l := NewLeaserStripes(tc.n, tc.stripes)
+		if got := l.Size(); got != tc.n {
+			t.Fatalf("Size = %d, want %d", got, tc.n)
+		}
+		free := 0
+		for i := range l.stripes {
+			free += len(l.stripes[i].free)
+		}
+		if free != tc.n {
+			t.Fatalf("n=%d stripes=%d: %d ids dealt, want %d", tc.n, tc.stripes, free, tc.n)
+		}
+	}
+}
+
+// TestLeaserSoakChurn is the race-detector soak: far more goroutines than
+// pids, each repeatedly leasing, doing a little work, and releasing, with a
+// fraction abandoning acquisition via context cancellation. It checks the
+// ownership invariant directly (two holders of one pid would trip the
+// per-pid CAS panic and usually the race detector too) and that no pid leaks.
+func TestLeaserSoakChurn(t *testing.T) {
+	const pids = 8
+	goroutines, rounds := 64, 200
+	if testing.Short() {
+		goroutines, rounds = 32, 50
+	}
+	l := NewLeaser(pids)
+	owners := make([]atomic.Int32, pids) // goroutine id + 1, for the invariant check
+
+	var wg sync.WaitGroup
+	var granted, cancelled atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if r%8 == 7 {
+					// Contended cancellation: a deadline short enough to
+					// fire while queued, sometimes racing the handoff.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(r%3)*time.Microsecond)
+				}
+				pid, err := l.Acquire(ctx)
+				cancel()
+				if err != nil {
+					cancelled.Add(1)
+					continue
+				}
+				if !owners[pid].CompareAndSwap(0, int32(g)+1) {
+					t.Errorf("pid %d acquired by %d while owned by %d", pid, g, owners[pid].Load()-1)
+					l.Release(pid)
+					return
+				}
+				granted.Add(1)
+				if !owners[pid].CompareAndSwap(int32(g)+1, 0) {
+					t.Errorf("pid %d stolen from %d mid-lease", pid, g)
+					return
+				}
+				l.Release(pid)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if held := l.Held(); len(held) != 0 {
+		t.Fatalf("leaked pids after soak: %v", held)
+	}
+	if got := l.InUse(); got != 0 {
+		t.Fatalf("InUse after soak = %d, want 0", got)
+	}
+	st := l.Stats()
+	if st.Acquires < granted.Load() {
+		t.Fatalf("stats.Acquires = %d < %d grants observed", st.Acquires, granted.Load())
+	}
+	t.Logf("soak: %d grants, %d cancels, stats=%+v", granted.Load(), cancelled.Load(), st)
+}

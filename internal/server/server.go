@@ -1,0 +1,247 @@
+// Package server is the HTTP/JSON front end over the named-object registry
+// (internal/registry). cmd/slserve wires it to a listener and signals;
+// examples/service embeds it in-process. Every operation endpoint leases a
+// process id from the registry's fixed pool for the duration of the
+// operation, so any number of HTTP clients can share the paper's fixed-n
+// objects.
+//
+// API (all operation endpoints are POST with an optional JSON body):
+//
+//	POST /v1/counter/{name}/inc                               -> {"ok":true}
+//	POST /v1/counter/{name}/read                              -> {"ok":true,"value":"12"}
+//	POST /v1/maxreg/{name}/write     {"value":"7"}            -> {"ok":true}
+//	POST /v1/maxreg/{name}/read                               -> {"ok":true,"value":"7"}
+//	POST /v1/snapshot/{name}/update  {"value":"x"}            -> {"ok":true}
+//	POST /v1/snapshot/{name}/scan                             -> {"ok":true,"view":["x","",...]}
+//	POST /v1/object/{name}/execute   {"type":"set","invocation":"add(3)"}
+//	                                                          -> {"ok":true,"value":"ok"}
+//	GET  /v1/stats                                            -> server and pool metrics
+//
+// Values travel as decimal strings so every endpoint shares one shape.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"slmem/internal/registry"
+)
+
+// Server is the HTTP front end over a registry. It is an http.Handler and
+// carries the request-level metrics the registry cannot see.
+type Server struct {
+	mux   *http.ServeMux
+	reg   *registry.Registry
+	start time.Time
+
+	requests  atomic.Int64
+	failures  atomic.Int64
+	opsByKind [4]atomic.Int64
+}
+
+// New constructs a server over a fresh registry.
+func New(opts registry.Options) *Server {
+	s := &Server{
+		mux:   http.NewServeMux(),
+		reg:   registry.New(opts),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/{kind}/{name}/{op}", s.handleOp)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Registry returns the registry backing this server.
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Request is the JSON body accepted by every operation endpoint; fields are
+// read only by the operations that need them.
+type Request struct {
+	// Value is the operand: the component text for snapshot update, a
+	// decimal for maxreg write.
+	Value string `json:"value"`
+	// Type names the simple type for object endpoints (set, accumulator,
+	// register, counter, maxreg).
+	Type string `json:"type"`
+	// Invocation is the operation string for object execute, e.g. "add(3)".
+	Invocation string `json:"invocation"`
+}
+
+// Response is the JSON shape of every operation reply.
+type Response struct {
+	OK    bool     `json:"ok"`
+	Value string   `json:"value,omitempty"`
+	View  []string `json:"view,omitempty"`
+	Error string   `json:"error,omitempty"`
+}
+
+// httpError carries a status code through the operation dispatch.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
+	kind, name, op := r.PathValue("kind"), r.PathValue("name"), r.PathValue("op")
+
+	var req Request
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err == nil && len(body) > 0 {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		s.reply(w, http.StatusBadRequest, Response{Error: "bad request body: " + err.Error()})
+		return
+	}
+
+	resp, err := s.dispatch(r.Context(), kind, name, op, req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var he *httpError
+		switch {
+		case errors.As(err, &he):
+			status = he.status
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client went away while the operation queued for a pid.
+			status = http.StatusServiceUnavailable
+		}
+		s.reply(w, status, Response{Error: err.Error()})
+		return
+	}
+	resp.OK = true
+	s.reply(w, http.StatusOK, resp)
+}
+
+// dispatch routes one operation to the registry. The request context flows
+// into pid leasing, so a disconnected client stops waiting for a pid. The
+// operation (and any operand) is validated before the registry lookup: the
+// registry has no eviction, so a request that can never succeed must not
+// create an object.
+func (s *Server) dispatch(ctx context.Context, kind, name, op string, req Request) (Response, error) {
+	if name == "" {
+		return Response{}, errBadRequest("empty object name")
+	}
+	k := registry.Kind(kind)
+	switch k {
+	case registry.KindCounter:
+		s.opsByKind[registry.KindIndex(k)].Add(1)
+		switch op {
+		case "inc":
+			return Response{}, s.reg.Counter(name).Inc(ctx)
+		case "read":
+			v, err := s.reg.Counter(name).Read(ctx)
+			return Response{Value: strconv.FormatUint(v, 10)}, err
+		}
+		return Response{}, &httpError{http.StatusNotFound, fmt.Sprintf("counter has no operation %q (want inc or read)", op)}
+
+	case registry.KindMaxRegister:
+		s.opsByKind[registry.KindIndex(k)].Add(1)
+		switch op {
+		case "write":
+			v, err := strconv.ParseUint(req.Value, 10, 64)
+			if err != nil {
+				return Response{}, errBadRequest("maxreg write needs a decimal value: %v", err)
+			}
+			return Response{}, s.reg.MaxRegister(name).MaxWrite(ctx, v)
+		case "read":
+			v, err := s.reg.MaxRegister(name).MaxRead(ctx)
+			return Response{Value: strconv.FormatUint(v, 10)}, err
+		}
+		return Response{}, &httpError{http.StatusNotFound, fmt.Sprintf("maxreg has no operation %q (want write or read)", op)}
+
+	case registry.KindSnapshot:
+		s.opsByKind[registry.KindIndex(k)].Add(1)
+		switch op {
+		case "update":
+			return Response{}, s.reg.Snapshot(name).Update(ctx, req.Value)
+		case "scan":
+			view, err := s.reg.Snapshot(name).Scan(ctx)
+			return Response{View: view}, err
+		}
+		return Response{}, &httpError{http.StatusNotFound, fmt.Sprintf("snapshot has no operation %q (want update or scan)", op)}
+
+	case registry.KindObject:
+		s.opsByKind[registry.KindIndex(k)].Add(1)
+		if op != "execute" {
+			return Response{}, &httpError{http.StatusNotFound, fmt.Sprintf("object has no operation %q (want execute)", op)}
+		}
+		// Reject unknown types and malformed invocations before the registry
+		// lookup; a doomed request must not register an object.
+		if err := registry.ValidateInvocation(req.Type, req.Invocation); err != nil {
+			return Response{}, errBadRequest("%v", err)
+		}
+		// The remaining Object error is a type mismatch with an existing name.
+		o, err := s.reg.Object(name, req.Type)
+		if err != nil {
+			return Response{}, &httpError{http.StatusConflict, err.Error()}
+		}
+		// Execute can now fail only on context cancellation (mapped to 503
+		// by the caller) or a genuine internal error.
+		res, err := o.Execute(ctx, req.Invocation)
+		return Response{Value: res}, err
+	}
+	return Response{}, &httpError{http.StatusNotFound,
+		fmt.Sprintf("unknown object kind %q (want counter, maxreg, snapshot, or object)", kind)}
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, resp Response) {
+	if resp.Error != "" {
+		s.failures.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("server: encode response: %v", err)
+	}
+}
+
+// Stats is the JSON shape of GET /v1/stats.
+type Stats struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      int64            `json:"requests"`
+	Failures      int64            `json:"failures"`
+	Ops           map[string]int64 `json:"ops"`
+	Registry      registry.Stats   `json:"registry"`
+}
+
+// Stats returns a snapshot of server metrics.
+func (s *Server) Stats() Stats {
+	ops := make(map[string]int64, 4)
+	for _, k := range registry.Kinds() {
+		ops[string(k)] = s.opsByKind[registry.KindIndex(k)].Load()
+	}
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Failures:      s.failures.Load(),
+		Ops:           ops,
+		Registry:      s.reg.Stats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
+		log.Printf("server: encode stats: %v", err)
+	}
+}

@@ -1,0 +1,238 @@
+package slmem
+
+import (
+	"context"
+
+	"slmem/internal/runtime"
+)
+
+// PIDPool leases process ids from the fixed pool 0..n-1, bridging the
+// paper's model (n processes with pre-assigned ids) to ordinary Go programs
+// where goroutines come and go. Acquire a pid, perform operations as that
+// process, and release it; or use the Pooled* wrappers, which lease around
+// every operation automatically.
+//
+// The pool guarantees the ownership invariant the objects rely on: a pid is
+// held by at most one goroutine between Acquire and Release (misuse panics).
+// Acquisition has a striped fast path and blocks FIFO — with context
+// cancellation — when all n ids are leased.
+type PIDPool struct {
+	l *runtime.Leaser
+}
+
+// NewPIDPool constructs a pool over process ids 0..n-1.
+func NewPIDPool(n int) *PIDPool {
+	return &PIDPool{l: runtime.NewLeaser(n)}
+}
+
+// Acquire leases a pid, blocking while all are leased; it returns ctx.Err()
+// if the context is cancelled first.
+func (p *PIDPool) Acquire(ctx context.Context) (int, error) { return p.l.Acquire(ctx) }
+
+// TryAcquire leases a pid without blocking, reporting false if none is free.
+func (p *PIDPool) TryAcquire() (int, bool) { return p.l.TryAcquire() }
+
+// Release returns a leased pid. Releasing a pid that is not leased panics.
+func (p *PIDPool) Release(pid int) { p.l.Release(pid) }
+
+// With leases a pid around fn, releasing it even if fn panics.
+func (p *PIDPool) With(ctx context.Context, fn func(pid int) error) error {
+	return p.l.With(ctx, fn)
+}
+
+// Size returns n, the number of process ids managed.
+func (p *PIDPool) Size() int { return p.l.Size() }
+
+// InUse returns how many pids are currently leased.
+func (p *PIDPool) InUse() int { return p.l.InUse() }
+
+// Held returns the currently leased pids (a point-in-time snapshot), for
+// leak detection in tests and diagnostics.
+func (p *PIDPool) Held() []int { return p.l.Held() }
+
+// Stats reports monotone acquisition counters.
+func (p *PIDPool) Stats() PoolStats {
+	s := p.l.Stats()
+	return PoolStats{
+		Acquires: s.Acquires,
+		FastPath: s.FastPath,
+		Steals:   s.Steals,
+		Blocks:   s.Blocks,
+		Cancels:  s.Cancels,
+	}
+}
+
+// PoolStats are monotone counters describing how acquisitions were served.
+type PoolStats struct {
+	// Acquires counts successful lease acquisitions.
+	Acquires int64 `json:"acquires"`
+	// FastPath counts acquisitions served by the acquirer's home stripe.
+	FastPath int64 `json:"fast_path"`
+	// Steals counts acquisitions served by another stripe.
+	Steals int64 `json:"steals"`
+	// Blocks counts acquisitions that queued behind an exhausted pool.
+	Blocks int64 `json:"blocks"`
+	// Cancels counts acquisitions abandoned via context.
+	Cancels int64 `json:"cancels"`
+}
+
+// Pool is a Snapshot whose operations lease a pid per call, so any goroutine
+// may use it without pid management. Update writes the component owned by
+// the leased pid: the pooled snapshot is a board of n single-writer slots
+// written by whichever goroutine holds the slot's lease, not a map from
+// goroutines to fixed slots. Scan still returns a consistent view of all
+// components.
+type Pool[V comparable] struct {
+	s    *Snapshot[V]
+	pids *PIDPool
+}
+
+// NewPool constructs a pooled snapshot for n processes, every component
+// initialized to initial.
+func NewPool[V comparable](n int, initial V, opts ...SnapshotOption) *Pool[V] {
+	return NewSnapshot[V](n, initial, opts...).Pooled(NewPIDPool(n))
+}
+
+// Pooled binds the snapshot to a pid pool (sized for the same n). Use a
+// shared pool to lease pids across several objects backed by the same
+// process set.
+func (s *Snapshot[V]) Pooled(p *PIDPool) *Pool[V] { return &Pool[V]{s: s, pids: p} }
+
+// Update leases a pid and sets that pid's component to x.
+func (p *Pool[V]) Update(ctx context.Context, x V) error {
+	return p.pids.With(ctx, func(pid int) error {
+		p.s.Update(pid, x)
+		return nil
+	})
+}
+
+// Scan leases a pid and returns a consistent copy of the component vector.
+func (p *Pool[V]) Scan(ctx context.Context) ([]V, error) {
+	var view []V
+	err := p.pids.With(ctx, func(pid int) error {
+		view = p.s.Scan(pid)
+		return nil
+	})
+	return view, err
+}
+
+// Unpooled returns the underlying Snapshot.
+func (p *Pool[V]) Unpooled() *Snapshot[V] { return p.s }
+
+// PIDs returns the pool of process ids backing this object.
+func (p *Pool[V]) PIDs() *PIDPool { return p.pids }
+
+// PooledCounter is a Counter whose operations lease a pid per call, so any
+// goroutine may increment and read it without pid management.
+type PooledCounter struct {
+	c    *Counter
+	pids *PIDPool
+}
+
+// NewPooledCounter constructs a counter for n processes with its own pool.
+func NewPooledCounter(n int) *PooledCounter {
+	return NewCounter(n).Pooled(NewPIDPool(n))
+}
+
+// Pooled binds the counter to a pid pool (sized for the same n).
+func (c *Counter) Pooled(p *PIDPool) *PooledCounter { return &PooledCounter{c: c, pids: p} }
+
+// Inc leases a pid and increments the counter.
+func (c *PooledCounter) Inc(ctx context.Context) error {
+	return c.pids.With(ctx, func(pid int) error {
+		c.c.Inc(pid)
+		return nil
+	})
+}
+
+// Read leases a pid and returns the current count.
+func (c *PooledCounter) Read(ctx context.Context) (uint64, error) {
+	var v uint64
+	err := c.pids.With(ctx, func(pid int) error {
+		v = c.c.Read(pid)
+		return nil
+	})
+	return v, err
+}
+
+// Unpooled returns the underlying Counter.
+func (c *PooledCounter) Unpooled() *Counter { return c.c }
+
+// PIDs returns the pool of process ids backing this object.
+func (c *PooledCounter) PIDs() *PIDPool { return c.pids }
+
+// PooledMaxRegister is a MaxRegister whose operations lease a pid per call.
+type PooledMaxRegister struct {
+	m    *MaxRegister
+	pids *PIDPool
+}
+
+// NewPooledMaxRegister constructs a max-register for n processes with its
+// own pool.
+func NewPooledMaxRegister(n int) *PooledMaxRegister {
+	return NewMaxRegister(n).Pooled(NewPIDPool(n))
+}
+
+// Pooled binds the max-register to a pid pool (sized for the same n).
+func (m *MaxRegister) Pooled(p *PIDPool) *PooledMaxRegister {
+	return &PooledMaxRegister{m: m, pids: p}
+}
+
+// MaxWrite leases a pid and raises the register to v if v exceeds its
+// current value.
+func (m *PooledMaxRegister) MaxWrite(ctx context.Context, v uint64) error {
+	return m.pids.With(ctx, func(pid int) error {
+		m.m.MaxWrite(pid, v)
+		return nil
+	})
+}
+
+// MaxRead leases a pid and returns the largest value ever written.
+func (m *PooledMaxRegister) MaxRead(ctx context.Context) (uint64, error) {
+	var v uint64
+	err := m.pids.With(ctx, func(pid int) error {
+		v = m.m.MaxRead(pid)
+		return nil
+	})
+	return v, err
+}
+
+// Unpooled returns the underlying MaxRegister.
+func (m *PooledMaxRegister) Unpooled() *MaxRegister { return m.m }
+
+// PIDs returns the pool of process ids backing this object.
+func (m *PooledMaxRegister) PIDs() *PIDPool { return m.pids }
+
+// PooledObject is an Object (universal construction) whose Execute leases a
+// pid per call.
+type PooledObject struct {
+	o    *Object
+	pids *PIDPool
+}
+
+// NewPooledObject constructs an implementation of the simple type for n
+// processes with its own pool.
+func NewPooledObject(t SimpleType, n int) *PooledObject {
+	return NewObject(t, n).Pooled(NewPIDPool(n))
+}
+
+// Pooled binds the object to a pid pool (sized for the same n).
+func (o *Object) Pooled(p *PIDPool) *PooledObject { return &PooledObject{o: o, pids: p} }
+
+// Execute leases a pid and performs the invocation (e.g. "add(x)"),
+// returning its response.
+func (o *PooledObject) Execute(ctx context.Context, invocation string) (string, error) {
+	var resp string
+	err := o.pids.With(ctx, func(pid int) error {
+		var err error
+		resp, err = o.o.Execute(pid, invocation)
+		return err
+	})
+	return resp, err
+}
+
+// Unpooled returns the underlying Object.
+func (o *PooledObject) Unpooled() *Object { return o.o }
+
+// PIDs returns the pool of process ids backing this object.
+func (o *PooledObject) PIDs() *PIDPool { return o.pids }

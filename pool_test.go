@@ -1,0 +1,204 @@
+package slmem_test
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+
+	"slmem"
+	"slmem/internal/harness"
+	"slmem/internal/spec"
+)
+
+func TestPooledCounterCountsEveryInc(t *testing.T) {
+	const n = 4
+	goroutines, incs := 16, 100
+	if testing.Short() {
+		goroutines, incs = 8, 40
+	}
+	c := slmem.NewPooledCounter(n)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				if err := c.Inc(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	got, err := c.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(goroutines * incs); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if held := c.PIDs().Held(); len(held) != 0 {
+		t.Fatalf("leaked pids: %v", held)
+	}
+}
+
+// TestPooledCounterLinearizable records histories through the pooled counter
+// path — acquire a pid, operate as that process, release — and checks each
+// burst for linearizability against the sequential counter spec. A leasing
+// bug that let two goroutines share a pid would corrupt the per-process
+// state and show up here as a non-linearizable history (and as a data race
+// under -race).
+func TestPooledCounterLinearizable(t *testing.T) {
+	const n = 3 // fewer pids than goroutines, so leases genuinely contend
+	bursts := 30
+	if testing.Short() {
+		bursts = 8
+	}
+	pool := slmem.NewPIDPool(n)
+	ctx := context.Background()
+
+	err := harness.CheckNativeBursts(spec.Counter{}, bursts, func(burst int, rec *harness.Recorder) {
+		c := slmem.NewCounter(n).Pooled(pool)
+		const goroutines, ops = 8, 7 // 56 ops per burst, under lincheck's 62 cap
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < ops; i++ {
+					err := c.PIDs().With(ctx, func(pid int) error {
+						if (g+i)%3 == 0 {
+							rec.Do(pid, "read()", func() string {
+								return strconv.FormatUint(c.Unpooled().Read(pid), 10)
+							})
+							return nil
+						}
+						rec.Do(pid, "inc()", func() string {
+							c.Unpooled().Inc(pid)
+							return "ok"
+						})
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held := pool.Held(); len(held) != 0 {
+		t.Fatalf("leaked pids: %v", held)
+	}
+}
+
+func TestPoolSnapshotScanSeesUpdates(t *testing.T) {
+	const n = 4
+	p := slmem.NewPool[string](n, "")
+	ctx := context.Background()
+
+	if err := p.Update(ctx, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	view, err := p.Scan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view) != n {
+		t.Fatalf("view has %d components, want %d", len(view), n)
+	}
+	found := false
+	for _, v := range view {
+		if v == "hello" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("update not visible in view %v", view)
+	}
+}
+
+func TestSharedPoolAcrossObjects(t *testing.T) {
+	const n = 4
+	pool := slmem.NewPIDPool(n)
+	c := slmem.NewCounter(n).Pooled(pool)
+	s := slmem.NewSnapshot[uint64](n, 0).Pooled(pool)
+	m := slmem.NewMaxRegister(n).Pooled(pool)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					if err := c.Inc(ctx); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					if err := s.Update(ctx, uint64(g*100+i)); err != nil {
+						t.Error(err)
+					}
+				default:
+					if err := m.MaxWrite(ctx, uint64(g*100+i)); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if pool.InUse() != 0 {
+		t.Fatalf("pids in use after quiesce: %d (%v)", pool.InUse(), pool.Held())
+	}
+	st := pool.Stats()
+	if st.Acquires == 0 {
+		t.Fatal("no acquisitions recorded")
+	}
+}
+
+func TestPooledObjectExecute(t *testing.T) {
+	o := slmem.NewPooledObject(slmem.SetType{}, 3)
+	ctx := context.Background()
+
+	if _, err := o.Execute(ctx, "add(7)"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := o.Execute(ctx, "contains(7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "true" {
+		t.Fatalf("contains(7) = %q, want true", resp)
+	}
+}
+
+func TestPooledOpFailsOnCancelledContext(t *testing.T) {
+	c := slmem.NewPooledCounter(1)
+	pid, ok := c.PIDs().TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire failed on fresh pool")
+	}
+	defer c.PIDs().Release(pid)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Inc(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Inc error = %v, want context.Canceled", err)
+	}
+}
