@@ -386,3 +386,93 @@ func BenchmarkAlgorithm3SpaceConstant(b *testing.B) {
 		b.ReportMetric(float64(alloc.Registers()-base)/float64(b.N), "registers/op")
 	}
 }
+
+// --- E10: batch pipeline — lease amortization on the wrapper hot paths ---------
+//
+// The per-op pooled path pays one pid lease per operation; Batch and
+// ExecuteMany pay one lease per batch. The pairs below quantify the
+// amortization at batch size 64 (cmd/slbench -json carries the end-to-end
+// per-request vs batched comparison recorded in BENCH_*.json).
+
+func BenchmarkPoolBatch(b *testing.B) {
+	n := benchN()
+	ctx := context.Background()
+	const batch = 64
+	b.Run("update-perop", func(b *testing.B) {
+		p := NewPool[uint64](n, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.Update(ctx, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("update-batch64", func(b *testing.B) {
+		p := NewPool[uint64](n, 0)
+		b.ResetTimer()
+		for done := 0; done < b.N; done += batch {
+			err := p.Batch(ctx, func(h SnapshotHandle[uint64]) error {
+				for j := 0; j < batch; j++ {
+					h.Update(uint64(j))
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("update-batch64-parallel", func(b *testing.B) {
+		p := NewPool[uint64](n, 0)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				err := p.Batch(ctx, func(h SnapshotHandle[uint64]) error {
+					for j := 0; j < batch; j++ {
+						h.Update(uint64(j))
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+func BenchmarkExecuteMany(b *testing.B) {
+	// The universal construction's per-op cost grows with history, so the
+	// object is re-created every 64 operations in both variants: the pair
+	// differs only in how many leases those 64 operations cost.
+	const batch = 64
+	ctx := context.Background()
+	invs := make([]string, batch)
+	for i := range invs {
+		invs[i] = "inc()"
+	}
+	b.Run("execute-perop", func(b *testing.B) {
+		o := NewPooledObject(CounterType{}, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%batch == 0 && i > 0 {
+				b.StopTimer()
+				o = NewPooledObject(CounterType{}, 2)
+				b.StartTimer()
+			}
+			if _, err := o.Execute(ctx, "inc()"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("execute-many64", func(b *testing.B) {
+		b.ResetTimer()
+		for done := 0; done < b.N; done += batch {
+			b.StopTimer()
+			o := NewPooledObject(CounterType{}, 2)
+			b.StartTimer()
+			if _, err := o.ExecuteMany(ctx, invs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

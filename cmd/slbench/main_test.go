@@ -62,15 +62,41 @@ func TestJSONSummary(t *testing.T) {
 	if err := json.Unmarshal([]byte(line), &sum); err != nil {
 		t.Fatalf("summary is not valid JSON: %v\n%s", err, line)
 	}
-	if sum.Schema != "slbench/v1" {
+	if sum.Schema != "slbench/v2" {
 		t.Errorf("schema = %q", sum.Schema)
 	}
-	if len(sum.Probes) < 4 {
+	if len(sum.Probes) < 8 {
 		t.Fatalf("only %d probes", len(sum.Probes))
 	}
+	names := make(map[string]bool, len(sum.Probes))
 	for _, p := range sum.Probes {
-		if p.Ops <= 0 || p.NsPerOp <= 0 || p.Registers <= 0 {
+		names[p.Name] = true
+		if p.Ops <= 0 || p.NsPerOp <= 0 {
 			t.Errorf("probe %q has empty fields: %+v", p.Name, p)
 		}
+		// Paper-layer probes must report their register allocation (the
+		// space metric); service-layer probes document it as zero.
+		serviceLayer := strings.HasPrefix(p.Name, "registry/") || strings.HasPrefix(p.Name, "server/")
+		if serviceLayer && p.Registers != 0 {
+			t.Errorf("service-layer probe %q reports registers=%d, want 0", p.Name, p.Registers)
+		}
+		if !serviceLayer && p.Registers <= 0 {
+			t.Errorf("probe %q reports registers=%d, want > 0", p.Name, p.Registers)
+		}
+	}
+	for _, want := range []string{
+		"counter/inc-direct", "counter/inc-pooled",
+		"registry/counter-inc-perop", "registry/counter-inc-batch64",
+		"server/counter-inc-request", "server/counter-inc-batch64",
+	} {
+		if !names[want] {
+			t.Errorf("probe %q missing from summary", want)
+		}
+	}
+	// The derived ratio is what BENCH_*.json records for the batch pipeline;
+	// it must be present and positive (its magnitude is hardware-dependent,
+	// so the threshold lives in the recorded BENCH files, not in this test).
+	if sum.Derived.Batch64OverheadRatio <= 0 {
+		t.Errorf("derived = %+v, want a positive batch64_overhead_ratio", sum.Derived)
 	}
 }

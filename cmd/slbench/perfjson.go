@@ -1,16 +1,20 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"runtime"
 	"time"
 
 	"slmem/internal/core"
 	"slmem/internal/memory"
+	"slmem/internal/registry"
 	slruntime "slmem/internal/runtime"
+	"slmem/internal/server"
 )
 
 // perfProbe is one measured hot path in the -json summary.
@@ -22,8 +26,25 @@ type perfProbe struct {
 	// NsPerOp is the mean wall-clock cost of one operation.
 	NsPerOp float64 `json:"ns_per_op"`
 	// Registers is how many base registers the probed object allocated —
-	// the paper's space metric (constant for the bounded algorithms).
+	// the paper's space metric (constant for the bounded algorithms). Zero
+	// for service-layer probes, whose objects live behind the registry.
 	Registers int `json:"registers"`
+}
+
+// perfDerived reports the batch-pipeline headline numbers computed from the
+// probes: the lease+dispatch overhead one operation pays on the per-request
+// server path versus its share of a 64-op batched request, both relative to
+// the direct (caller-managed pid) cost of the same counter increment.
+type perfDerived struct {
+	// PerRequestOverheadNs is server per-request ns/op minus direct ns/op.
+	PerRequestOverheadNs float64 `json:"per_request_overhead_ns"`
+	// Batch64PerOpOverheadNs is the batched server path's per-op ns (one
+	// 64-entry /v1/batch request divided by 64) minus direct ns/op.
+	Batch64PerOpOverheadNs float64 `json:"batch64_per_op_overhead_ns"`
+	// Batch64OverheadRatio is PerRequestOverheadNs over
+	// Batch64PerOpOverheadNs: how many times cheaper the batched path's
+	// per-op overhead is. The pipeline targets >= 5.
+	Batch64OverheadRatio float64 `json:"batch64_overhead_ratio"`
 }
 
 // perfSummary is the one-line JSON document emitted by -json, for recording
@@ -34,7 +55,12 @@ type perfSummary struct {
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	ProbeMs    int64       `json:"probe_ms"`
 	Probes     []perfProbe `json:"probes"`
+	Derived    perfDerived `json:"derived"`
 }
+
+// batchProbeSize is the batch size of the batched probes and of the derived
+// overhead ratio (matching the BenchmarkRegistryBatch/size-64 family).
+const batchProbeSize = 64
 
 // measure runs op in a tight loop for roughly d and returns the op count
 // and mean ns/op.
@@ -55,23 +81,35 @@ func measure(d time.Duration, op func()) (int64, float64) {
 }
 
 // emitJSONSummary measures the service-relevant hot paths — direct (caller
-// manages the pid) and pooled (a lease per operation) — and writes one JSON
-// line. The pooled/direct pairs quantify the lease overhead the runtime
-// layer adds; bench_test.go carries the full benchmark suite.
+// manages the pid), pooled (a lease per operation), per-request (one HTTP
+// request per operation), and batched (64 operations per request or lease) —
+// and writes one JSON line. The pooled/direct pairs quantify the lease
+// overhead the runtime layer adds; the request/batch pairs quantify what
+// /v1/batch amortizes away; bench_test.go carries the full benchmark suite.
 func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
 	const n = 8
 	ctx := context.Background()
 	var probes []perfProbe
 
-	add := func(name string, registers int, op func()) {
+	add := func(name string, registers int, op func()) float64 {
 		ops, nsPerOp := measure(probeTime, op)
 		probes = append(probes, perfProbe{Name: name, Ops: ops, NsPerOp: nsPerOp, Registers: registers})
+		return nsPerOp
+	}
+	// addBatched measures op (which performs `size` operations per call) and
+	// records per-operation numbers.
+	addBatched := func(name string, size int, op func()) float64 {
+		batches, nsPerBatch := measure(probeTime, op)
+		nsPerOp := nsPerBatch / float64(size)
+		probes = append(probes, perfProbe{Name: name, Ops: batches * int64(size), NsPerOp: nsPerOp})
+		return nsPerOp
 	}
 
+	var directIncNs float64
 	{
 		var alloc memory.NativeAllocator
 		c := core.NewCounter(&alloc, n)
-		add("counter/inc-direct", alloc.Registers(), func() { c.Inc(0) })
+		directIncNs = add("counter/inc-direct", alloc.Registers(), func() { c.Inc(0) })
 	}
 	{
 		var alloc memory.NativeAllocator
@@ -95,12 +133,75 @@ func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
 		})
 	}
 
+	// Registry layer: a lease plus named-object dispatch per op, against one
+	// BatchExecute amortizing the lease over batchProbeSize ops.
+	{
+		reg := registry.New(registry.Options{Procs: n})
+		reg.Counter("bench")
+		add("registry/counter-inc-perop", 0, func() {
+			if err := reg.Counter("bench").Inc(ctx); err != nil {
+				panic(err)
+			}
+		})
+		ops := make([]registry.BatchOp, batchProbeSize)
+		for i := range ops {
+			ops[i] = registry.BatchOp{Kind: registry.KindCounter, Name: "bench", Op: registry.OpInc}
+		}
+		addBatched("registry/counter-inc-batch64", batchProbeSize, func() {
+			if _, err := reg.BatchExecute(ctx, ops); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	// Server layer: the full per-request path (mux, JSON, lease, dispatch)
+	// against one 64-entry /v1/batch request. This is the pair the batch
+	// pipeline exists for: the derived ratio below compares their per-op
+	// overhead over the direct cost.
+	var requestNs, batchNs float64
+	{
+		srv := server.New(registry.Options{Procs: n})
+		requestNs = add("server/counter-inc-request", 0, func() {
+			req := httptest.NewRequest("POST", "/v1/counter/bench/inc", nil)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				panic(fmt.Sprintf("inc request failed: %d %s", rec.Code, rec.Body))
+			}
+		})
+		entries := make([]server.BatchEntry, batchProbeSize)
+		for i := range entries {
+			entries[i] = server.BatchEntry{Kind: registry.KindCounter, Name: "bench", Op: registry.OpInc}
+		}
+		body, err := json.Marshal(entries)
+		if err != nil {
+			return err
+		}
+		batchNs = addBatched("server/counter-inc-batch64", batchProbeSize, func() {
+			req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				panic(fmt.Sprintf("batch request failed: %d %s", rec.Code, rec.Body))
+			}
+		})
+	}
+
+	derived := perfDerived{
+		PerRequestOverheadNs:   requestNs - directIncNs,
+		Batch64PerOpOverheadNs: batchNs - directIncNs,
+	}
+	if derived.Batch64PerOpOverheadNs > 0 {
+		derived.Batch64OverheadRatio = derived.PerRequestOverheadNs / derived.Batch64PerOpOverheadNs
+	}
+
 	sum := perfSummary{
-		Schema:     "slbench/v1",
+		Schema:     "slbench/v2",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		ProbeMs:    probeTime.Milliseconds(),
 		Probes:     probes,
+		Derived:    derived,
 	}
 	enc, err := json.Marshal(sum)
 	if err != nil {

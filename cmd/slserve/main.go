@@ -7,12 +7,13 @@
 //
 // Usage:
 //
-//	slserve [-addr :8080] [-procs 16] [-shards 16]
+//	slserve [-addr :8080] [-procs 16] [-shards 16] [-maxbatch 1024]
 //
-// See internal/server for the endpoint reference. -procs bounds
-// concurrently executing operations: requests beyond it queue FIFO on the
-// pid pool (and give up when the client disconnects). SIGINT/SIGTERM drain
-// in-flight requests before exit.
+// See docs/API.md for the endpoint reference. -procs bounds concurrently
+// executing operations: requests beyond it queue FIFO on the pid pool (and
+// give up when the client disconnects). -maxbatch caps the entries accepted
+// per POST /v1/batch request, which runs many operations under one pid
+// lease. SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
@@ -41,17 +42,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("slserve", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", ":8080", "listen address")
-		procs  = fs.Int("procs", 16, "process pool size (max concurrent operations)")
-		shards = fs.Int("shards", 16, "registry shard count")
+		addr     = fs.String("addr", ":8080", "listen address")
+		procs    = fs.Int("procs", 16, "process pool size (max concurrent operations)")
+		shards   = fs.Int("shards", 16, "registry shard count")
+		maxBatch = fs.Int("maxbatch", server.MaxBatchOps, "max entries per /v1/batch request")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *maxBatch <= 0 {
+		return fmt.Errorf("-maxbatch must be positive, got %d", *maxBatch)
+	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(registry.Options{Procs: *procs, Shards: *shards}),
+		Addr: *addr,
+		Handler: server.New(registry.Options{Procs: *procs, Shards: *shards},
+			server.WithMaxBatchOps(*maxBatch)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

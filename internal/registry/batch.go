@@ -1,0 +1,283 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"slmem"
+)
+
+// Op names the operations BatchExecute can run, matching the final path
+// segment of the server's single-operation endpoints.
+type Op string
+
+// Supported batch operations. Which ops are valid depends on the kind:
+// counters accept inc/read, max-registers write/read, snapshots update/scan,
+// and universal objects execute.
+const (
+	OpInc     Op = "inc"
+	OpRead    Op = "read"
+	OpWrite   Op = "write"
+	OpUpdate  Op = "update"
+	OpScan    Op = "scan"
+	OpExecute Op = "execute"
+)
+
+// BatchOp is one typed operation in a batch: an operation Op against the
+// named object of the given kind. Value is the operand where the operation
+// takes one (a decimal for maxreg write, the component text for snapshot
+// update); Type and Invocation are used only by object execute.
+type BatchOp struct {
+	Kind       Kind   `json:"kind"`
+	Name       string `json:"name"`
+	Op         Op     `json:"op"`
+	Value      string `json:"value,omitempty"`
+	Type       string `json:"type,omitempty"`
+	Invocation string `json:"invocation,omitempty"`
+}
+
+// BatchResult is the outcome of one BatchOp. Exactly one of the payload
+// fields is populated on success, mirroring the single-operation responses:
+// Value for reads and execute, View for scans, neither for writes. Err is
+// non-nil when the op was rejected during validation, failed during
+// execution, or was skipped because the batch's context was cancelled before
+// it ran.
+type BatchResult struct {
+	Value string
+	View  []string
+	Err   error
+}
+
+// opCode is the dense dispatch code a BatchOp compiles to.
+type opCode uint8
+
+const (
+	opInvalid opCode = iota
+	opCounterInc
+	opCounterRead
+	opMaxWrite
+	opMaxRead
+	opSnapUpdate
+	opSnapScan
+	opObjExecute
+)
+
+// compiledOp is a validated BatchOp with its target resolved and operand
+// parsed, so the leased execution loop is a plain switch with no map
+// lookups, parsing, or closure calls.
+type compiledOp struct {
+	code    opCode
+	counter *slmem.Counter
+	maxreg  *slmem.MaxRegister
+	snap    *slmem.Snapshot[string]
+	object  *slmem.Object
+	u64     uint64
+	str     string
+}
+
+// memoKey identifies a resolved object within one batch without allocating
+// a concatenated string key per op.
+type memoKey struct {
+	kind Kind
+	name string
+}
+
+// BatchOutcome is what BatchExecute returns: one result per op,
+// positionally, plus the aggregate facts the ops cannot express.
+type BatchOutcome struct {
+	// Results holds one BatchResult per submitted op, in submission order.
+	Results []BatchResult
+	// Leased reports whether the batch acquired a pid lease: true exactly
+	// when at least one op passed validation. A batch of doomed ops never
+	// touches the pool.
+	Leased bool
+}
+
+// BatchExecute runs the ops in order under a single pid lease, amortizing
+// the lease acquisition (and, for HTTP callers, the request round trip) over
+// the whole slice. It returns one BatchResult per op, positionally.
+//
+// Semantics:
+//
+//   - One lease, one process: every op runs as the same leased pid, so the
+//     batch is one process's operation sequence in the paper's model. Each op
+//     is individually strongly linearizable; the batch as a whole is NOT
+//     atomic — other processes' operations may linearize between ops.
+//   - Partial failure: an op that fails validation (unknown kind or op, bad
+//     operand, object type conflict) gets an Err in its slot and the
+//     remaining ops still run. Doomed ops never register an object.
+//   - Cancellation: the context is checked between ops; once it is
+//     cancelled, every remaining op's slot reports the cancellation error
+//     while earlier results stand.
+//
+// The returned error is non-nil only when the batch as a whole could not
+// run: the context was already cancelled on entry, or it was cancelled
+// while queueing for the pid lease. In either case no op has executed. A
+// batch that is dead on entry creates no objects at all; one cancelled
+// while queueing may already have lazily created the objects its valid ops
+// named during validation (the client was still connected then).
+func (r *Registry) BatchExecute(ctx context.Context, ops []BatchOp) (BatchOutcome, error) {
+	// A context that is already dead fails the batch before any work. This
+	// must precede compilation, not just leasing: compiling lazily creates
+	// the named objects, and the registry has no eviction — a disconnected
+	// client's batch must not leave objects behind. (The lease fast path
+	// does not poll the context, so without this check a cancelled client
+	// could even burn a lease.)
+	if err := ctx.Err(); err != nil {
+		return BatchOutcome{}, err
+	}
+
+	results := make([]BatchResult, len(ops))
+	steps := make([]compiledOp, len(ops))
+
+	// Phase 1, before leasing: validate every op, resolve its target object,
+	// and parse its operand, so the leased phase below is a tight dispatch
+	// loop. Resolution is memoized per batch — repeated ops against one hot
+	// object pay the registry lookup once.
+	resolved := make(map[memoKey]any)
+	valid := 0
+	for i := range ops {
+		step, err := r.compile(&ops[i], resolved)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		steps[i] = step
+		valid++
+	}
+	if valid == 0 {
+		return BatchOutcome{Results: results}, nil
+	}
+
+	// Phase 2: one lease for every valid op.
+	err := r.pool.With(ctx, func(pid int) error {
+		for i := range steps {
+			step := &steps[i]
+			if step.code == opInvalid {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				results[i].Err = fmt.Errorf("batch cancelled before op %d: %w", i, err)
+				continue
+			}
+			switch step.code {
+			case opCounterInc:
+				step.counter.Inc(pid)
+			case opCounterRead:
+				results[i].Value = strconv.FormatUint(step.counter.Read(pid), 10)
+			case opMaxWrite:
+				step.maxreg.MaxWrite(pid, step.u64)
+			case opMaxRead:
+				results[i].Value = strconv.FormatUint(step.maxreg.MaxRead(pid), 10)
+			case opSnapUpdate:
+				step.snap.Update(pid, step.str)
+			case opSnapScan:
+				results[i].View = step.snap.Scan(pid)
+			case opObjExecute:
+				v, err := step.object.Execute(pid, step.str)
+				results[i] = BatchResult{Value: v, Err: err}
+			}
+			// Lease-reuse assertion: the pid must survive every step. A step
+			// that released it would let another goroutine lease the same id
+			// and corrupt per-process state on the next iteration.
+			if !r.pool.Holds(pid) {
+				panic(fmt.Sprintf("registry: batch op %d released pid %d mid-batch", i, pid))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return BatchOutcome{}, err
+	}
+	return BatchOutcome{Results: results, Leased: true}, nil
+}
+
+// compile validates op and returns its executable form, resolving (and
+// lazily creating) the target object through the memo map. A non-nil error
+// means the op can never succeed; no object is created for it.
+func (r *Registry) compile(op *BatchOp, resolved map[memoKey]any) (compiledOp, error) {
+	if op.Name == "" {
+		return compiledOp{}, fmt.Errorf("empty object name")
+	}
+	key := memoKey{op.Kind, op.Name}
+
+	switch op.Kind {
+	case KindCounter:
+		var code opCode
+		switch op.Op {
+		case OpInc:
+			code = opCounterInc
+		case OpRead:
+			code = opCounterRead
+		default:
+			return compiledOp{}, fmt.Errorf("counter has no operation %q (want inc or read)", op.Op)
+		}
+		c, ok := resolved[key].(*slmem.Counter)
+		if !ok {
+			c = r.Counter(op.Name).Unpooled()
+			resolved[key] = c
+		}
+		return compiledOp{code: code, counter: c}, nil
+
+	case KindMaxRegister:
+		var code opCode
+		var v uint64
+		switch op.Op {
+		case OpWrite:
+			var err error
+			if v, err = strconv.ParseUint(op.Value, 10, 64); err != nil {
+				return compiledOp{}, fmt.Errorf("maxreg write needs a decimal value: %v", err)
+			}
+			code = opMaxWrite
+		case OpRead:
+			code = opMaxRead
+		default:
+			return compiledOp{}, fmt.Errorf("maxreg has no operation %q (want write or read)", op.Op)
+		}
+		m, ok := resolved[key].(*slmem.MaxRegister)
+		if !ok {
+			m = r.MaxRegister(op.Name).Unpooled()
+			resolved[key] = m
+		}
+		return compiledOp{code: code, maxreg: m, u64: v}, nil
+
+	case KindSnapshot:
+		var code opCode
+		switch op.Op {
+		case OpUpdate:
+			code = opSnapUpdate
+		case OpScan:
+			code = opSnapScan
+		default:
+			return compiledOp{}, fmt.Errorf("snapshot has no operation %q (want update or scan)", op.Op)
+		}
+		s, ok := resolved[key].(*slmem.Snapshot[string])
+		if !ok {
+			s = r.Snapshot(op.Name).Unpooled()
+			resolved[key] = s
+		}
+		return compiledOp{code: code, snap: s, str: op.Value}, nil
+
+	case KindObject:
+		if op.Op != OpExecute {
+			return compiledOp{}, fmt.Errorf("object has no operation %q (want execute)", op.Op)
+		}
+		// Reject unknown types and malformed invocations before the registry
+		// lookup; a doomed op must not register an object.
+		if err := ValidateInvocation(op.Type, op.Invocation); err != nil {
+			return compiledOp{}, err
+		}
+		// Objects are deliberately not memoized: Object's own lookup carries
+		// the type-conflict check, which must also fire between two ops of
+		// one batch that name the same object with different types. Its cost
+		// is a shard read-lock map hit — noise next to a universal-
+		// construction Execute.
+		po, err := r.Object(op.Name, op.Type)
+		if err != nil {
+			return compiledOp{}, err
+		}
+		return compiledOp{code: opObjExecute, object: po.Unpooled(), str: op.Invocation}, nil
+	}
+	return compiledOp{}, fmt.Errorf("unknown object kind %q (want counter, maxreg, snapshot, or object)", op.Kind)
+}

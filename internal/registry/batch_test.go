@@ -1,0 +1,372 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBatchExecuteMixedKinds(t *testing.T) {
+	r := New(Options{Procs: 4})
+	ctx := context.Background()
+	before := r.Pool().Stats().Acquires
+
+	ops := []BatchOp{
+		{Kind: KindCounter, Name: "c", Op: OpInc},
+		{Kind: KindCounter, Name: "c", Op: OpInc},
+		{Kind: KindCounter, Name: "c", Op: OpRead},
+		{Kind: KindMaxRegister, Name: "m", Op: OpWrite, Value: "41"},
+		{Kind: KindMaxRegister, Name: "m", Op: OpWrite, Value: "7"},
+		{Kind: KindMaxRegister, Name: "m", Op: OpRead},
+		{Kind: KindSnapshot, Name: "s", Op: OpUpdate, Value: "hello"},
+		{Kind: KindSnapshot, Name: "s", Op: OpScan},
+		{Kind: KindObject, Name: "bag", Op: OpExecute, Type: "set", Invocation: "add(3)"},
+		{Kind: KindObject, Name: "bag", Op: OpExecute, Type: "set", Invocation: "contains(3)"},
+	}
+	out, err := r.BatchExecute(ctx, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := out.Results
+	if len(results) != len(ops) {
+		t.Fatalf("got %d results for %d ops", len(results), len(ops))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("op %d failed: %v", i, res.Err)
+		}
+	}
+	if results[2].Value != "2" {
+		t.Errorf("counter read = %q, want 2", results[2].Value)
+	}
+	if results[5].Value != "41" {
+		t.Errorf("maxreg read = %q, want 41", results[5].Value)
+	}
+	if len(results[7].View) != 4 {
+		t.Errorf("scan view has %d components, want 4", len(results[7].View))
+	}
+	seen := false
+	for _, v := range results[7].View {
+		seen = seen || v == "hello"
+	}
+	if !seen {
+		t.Errorf("update not visible in scan view %v", results[7].View)
+	}
+	if results[9].Value != "true" {
+		t.Errorf("contains(3) = %q, want true", results[9].Value)
+	}
+
+	// The whole batch must have cost exactly one lease.
+	if got := r.Pool().Stats().Acquires - before; got != 1 {
+		t.Errorf("batch used %d lease acquisitions, want 1", got)
+	}
+	if r.Stats().PIDsInUse != 0 {
+		t.Errorf("pids leaked after batch: %d in use", r.Stats().PIDsInUse)
+	}
+}
+
+func TestBatchExecutePartialFailure(t *testing.T) {
+	r := New(Options{Procs: 2})
+	ctx := context.Background()
+
+	ops := []BatchOp{
+		{Kind: KindCounter, Name: "c", Op: OpInc},
+		{Kind: "stack", Name: "s", Op: "push"},                                            // unknown kind
+		{Kind: KindCounter, Name: "c", Op: "dec"},                                         // unknown op
+		{Kind: KindMaxRegister, Name: "m", Op: OpWrite, Value: "seven"},                   // bad operand
+		{Kind: KindCounter, Name: "", Op: OpInc},                                          // empty name
+		{Kind: KindObject, Name: "o", Op: OpExecute, Type: "queue", Invocation: "x()"},    // unknown type
+		{Kind: KindObject, Name: "o2", Op: OpExecute, Type: "set", Invocation: "frob(1)"}, // bad invocation
+		{Kind: KindCounter, Name: "c", Op: OpRead},
+	}
+	out, err := r.BatchExecute(ctx, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := out.Results
+	for _, i := range []int{1, 2, 3, 4, 5, 6} {
+		if results[i].Err == nil {
+			t.Errorf("op %d should have failed", i)
+		}
+	}
+	if results[0].Err != nil || results[7].Err != nil {
+		t.Fatalf("valid ops failed: %v / %v", results[0].Err, results[7].Err)
+	}
+	if results[7].Value != "1" {
+		t.Errorf("read after partial failure = %q, want 1", results[7].Value)
+	}
+
+	// Doomed ops must not have registered objects: only the counter exists.
+	st := r.Stats()
+	for kind, count := range st.Objects {
+		want := int64(0)
+		if kind == string(KindCounter) {
+			want = 1
+		}
+		if count != want {
+			t.Errorf("created %d %s object(s), want %d", count, kind, want)
+		}
+	}
+}
+
+func TestBatchExecuteObjectTypeConflictWithinBatch(t *testing.T) {
+	r := New(Options{Procs: 2})
+	ops := []BatchOp{
+		{Kind: KindObject, Name: "x", Op: OpExecute, Type: "set", Invocation: "add(1)"},
+		{Kind: KindObject, Name: "x", Op: OpExecute, Type: "register", Invocation: "read()"},
+	}
+	out, err := r.BatchExecute(context.Background(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := out.Results
+	if results[0].Err != nil {
+		t.Fatalf("first op failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "already exists") {
+		t.Fatalf("type conflict inside one batch not rejected: %v", results[1].Err)
+	}
+}
+
+func TestBatchExecuteAllInvalidSkipsLease(t *testing.T) {
+	r := New(Options{Procs: 2})
+	out, err := r.BatchExecute(context.Background(), []BatchOp{
+		{Kind: "stack", Name: "s", Op: "push"},
+		{Kind: KindCounter, Name: "c", Op: "dec"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leased {
+		t.Error("all-invalid batch reported a lease")
+	}
+	results := out.Results
+	for i, res := range results {
+		if res.Err == nil {
+			t.Errorf("op %d should have failed", i)
+		}
+	}
+	if got := r.Pool().Stats().Acquires; got != 0 {
+		t.Errorf("all-invalid batch acquired %d leases, want 0", got)
+	}
+}
+
+func TestBatchExecuteEmpty(t *testing.T) {
+	r := New(Options{Procs: 2})
+	out, err := r.BatchExecute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out.Results))
+	}
+	if out.Leased {
+		t.Error("empty batch reported a lease")
+	}
+}
+
+func TestBatchExecuteCancelledBeforeLease(t *testing.T) {
+	r := New(Options{Procs: 1})
+	ctx := context.Background()
+
+	// Hold the only pid so the batch must queue, then cancel it.
+	pid, err := r.Pool().Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.BatchExecute(cctx, []BatchOp{{Kind: KindCounter, Name: "c", Op: OpInc}})
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("batch with cancelled lease wait returned nil error")
+	}
+	r.Pool().Release(pid)
+
+	// The counter must not have been incremented.
+	v, err := r.Counter("c").Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("cancelled batch incremented counter to %d", v)
+	}
+}
+
+// trippingContext reports cancellation after its Err method has been polled
+// a fixed number of times, making "the context gets cancelled mid-batch"
+// deterministic: BatchExecute polls Err once on entry (before compiling)
+// and once before each op.
+type trippingContext struct {
+	context.Context
+	polls  atomic.Int32
+	budget int32
+}
+
+func (c *trippingContext) Err() error {
+	if c.polls.Add(1) > c.budget {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestBatchExecuteCancelledMidBatch(t *testing.T) {
+	r := New(Options{Procs: 2})
+	// Budget 3: one poll for the entry check, then ops 0 and 1 pass;
+	// ops 2 and 3 see the cancellation.
+	ctx := &trippingContext{Context: context.Background(), budget: 3}
+
+	ops := []BatchOp{
+		{Kind: KindCounter, Name: "c", Op: OpInc},
+		{Kind: KindCounter, Name: "c", Op: OpRead},
+		{Kind: KindCounter, Name: "c", Op: OpInc},
+		{Kind: KindCounter, Name: "c", Op: OpRead},
+	}
+	out, err := r.BatchExecute(ctx, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := out.Results
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("pre-cancellation ops failed: %v / %v", results[0].Err, results[1].Err)
+	}
+	if results[1].Value != "1" {
+		t.Errorf("read before cancellation = %q, want 1", results[1].Value)
+	}
+	for _, i := range []int{2, 3} {
+		if results[i].Err == nil || !errors.Is(results[i].Err, context.Canceled) {
+			t.Errorf("op %d after cancellation: err = %v, want context.Canceled", i, results[i].Err)
+		}
+	}
+
+	// Earlier results stand; later ops never ran.
+	v, err := r.Counter("c").Read(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("counter = %d after mid-batch cancellation, want 1", v)
+	}
+	if r.Stats().PIDsInUse != 0 {
+		t.Fatalf("pids leaked after cancelled batch: %d in use", r.Stats().PIDsInUse)
+	}
+}
+
+func TestBatchExecuteConcurrentBatches(t *testing.T) {
+	r := New(Options{Procs: 4})
+	ctx := context.Background()
+	const (
+		goroutines = 8
+		batches    = 10
+		incsPer    = 16
+	)
+	ops := make([]BatchOp, incsPer)
+	for i := range ops {
+		ops[i] = BatchOp{Kind: KindCounter, Name: "shared", Op: OpInc}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				out, err := r.BatchExecute(ctx, ops)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, res := range out.Results {
+					if res.Err != nil {
+						t.Error(res.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	v, err := r.Counter("shared").Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(goroutines * batches * incsPer); v != want {
+		t.Fatalf("counter = %d, want %d (lost increments across concurrent batches)", v, want)
+	}
+	if r.Stats().PIDsInUse != 0 {
+		t.Fatalf("pids leaked: %d in use", r.Stats().PIDsInUse)
+	}
+}
+
+// --- per-op vs batched dispatch cost -----------------------------------------
+
+func benchOps(size int) []BatchOp {
+	ops := make([]BatchOp, size)
+	for i := range ops {
+		ops[i] = BatchOp{Kind: KindCounter, Name: "bench", Op: OpInc}
+	}
+	return ops
+}
+
+func BenchmarkRegistryPerOp(b *testing.B) {
+	// The registry lookup stays inside the loop: the per-request server path
+	// resolves the named object on every request, so the per-op baseline
+	// must pay it too.
+	r := New(Options{Procs: 8})
+	ctx := context.Background()
+	r.Counter("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Counter("bench").Inc(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryBatch(b *testing.B) {
+	for _, size := range []int{1, 8, 64} {
+		b.Run("size-"+strconv.Itoa(size), func(b *testing.B) {
+			r := New(Options{Procs: 8})
+			ctx := context.Background()
+			ops := benchOps(size)
+			b.ResetTimer()
+			for done := 0; done < b.N; done += size {
+				if _, err := r.BatchExecute(ctx, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchExecuteDeadContextCreatesNoObjects(t *testing.T) {
+	// The registry has no eviction, so a batch from an already-dead client
+	// must fail before compilation — lazily creating objects for it would
+	// leak them forever.
+	r := New(Options{Procs: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.BatchExecute(ctx, []BatchOp{
+		{Kind: KindCounter, Name: "ghost", Op: OpInc},
+		{Kind: KindSnapshot, Name: "ghost", Op: OpUpdate, Value: "x"},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context batch error = %v, want context.Canceled", err)
+	}
+	st := r.Stats()
+	for kind, count := range st.Objects {
+		if count != 0 {
+			t.Errorf("dead-context batch created %d %s object(s)", count, kind)
+		}
+	}
+	if st.Pool.Acquires != 0 {
+		t.Errorf("dead-context batch acquired %d leases, want 0", st.Pool.Acquires)
+	}
+}

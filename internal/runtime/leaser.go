@@ -185,6 +185,18 @@ func (l *Leaser) Size() int { return l.n }
 // InUse returns the number of ids currently leased.
 func (l *Leaser) InUse() int { return int(l.inUse.Load()) }
 
+// Holds reports whether pid is currently leased. Callers that reuse one
+// lease across many operations (batch execution) assert this between
+// operations to catch a step that released — or handed off — the pid it was
+// given: continuing after that would break the ownership invariant and
+// corrupt per-process state. Ids outside [0, n) are never held.
+func (l *Leaser) Holds(pid int) bool {
+	if pid < 0 || pid >= l.n {
+		return false
+	}
+	return l.holders[pid].Load() == 1
+}
+
 // Held returns the ids currently leased, in ascending order. Intended for
 // leak detection in tests and for diagnostics; the result is a snapshot and
 // may be stale by the time it returns.

@@ -249,3 +249,64 @@ func TestLeaserSoakChurn(t *testing.T) {
 	}
 	t.Logf("soak: %d grants, %d cancels, stats=%+v", granted.Load(), cancelled.Load(), st)
 }
+
+func TestLeaserHolds(t *testing.T) {
+	l := NewLeaser(4)
+	if l.Holds(0) || l.Holds(3) {
+		t.Fatal("fresh leaser holds pids")
+	}
+	if l.Holds(-1) || l.Holds(4) {
+		t.Fatal("Holds reported an id outside [0, n) as leased")
+	}
+	pid, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Holds(pid) {
+		t.Fatalf("Holds(%d) = false while leased", pid)
+	}
+	// A batch-style caller reuses the lease across many operations; Holds
+	// must stay true throughout and flip only on Release.
+	for i := 0; i < 100; i++ {
+		if !l.Holds(pid) {
+			t.Fatalf("Holds(%d) flipped mid-reuse at op %d", pid, i)
+		}
+	}
+	l.Release(pid)
+	if l.Holds(pid) {
+		t.Fatalf("Holds(%d) = true after release", pid)
+	}
+}
+
+func TestLeaserHoldsDuringHandoff(t *testing.T) {
+	// When a release hands the pid directly to a FIFO waiter, the id never
+	// becomes free: Holds must remain true across the ownership transfer.
+	l := NewLeaser(1)
+	pid, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan int)
+	go func() {
+		p, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(got)
+			return
+		}
+		got <- p
+	}()
+	// Wait for the second acquirer to queue, then hand off.
+	for i := 0; l.Stats().Blocks == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	l.Release(pid)
+	p := <-got
+	if !l.Holds(p) {
+		t.Fatalf("Holds(%d) = false after direct handoff", p)
+	}
+	l.Release(p)
+	if l.Holds(p) {
+		t.Fatalf("Holds(%d) = true after final release", p)
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"slmem/internal/registry"
+)
+
+// Benchmarks for the batch pipeline's server phases. The request pair is
+// the headline comparison (per-request vs batched per-op cost); the decode
+// pair shows what the reflection-free fast path buys on a 64-entry body.
+
+func batchBody(b *testing.B, size int) []byte {
+	b.Helper()
+	entries := make([]BatchEntry, size)
+	for i := range entries {
+		entries[i] = BatchEntry{Kind: registry.KindCounter, Name: "bench", Op: registry.OpInc}
+	}
+	body, err := json.Marshal(entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func BenchmarkBatchRequest(b *testing.B) {
+	const size = 64
+	body := batchBody(b, size)
+	b.Run("perop", func(b *testing.B) {
+		srv := New(registry.Options{Procs: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/counter/bench/inc", nil)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatal(rec.Body.String())
+			}
+		}
+	})
+	b.Run("batch64", func(b *testing.B) {
+		srv := New(registry.Options{Procs: 8})
+		b.ResetTimer()
+		for done := 0; done < b.N; done += size {
+			req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatal(rec.Body.String())
+			}
+		}
+	})
+}
+
+func BenchmarkBatchDecode(b *testing.B) {
+	body := batchBody(b, 64)
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok, _ := fastDecodeBatch(body, MaxBatchOps); !ok {
+				b.Fatal("fast path rejected canonical body")
+			}
+		}
+	})
+	b.Run("encoding-json", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var e []BatchEntry
+			if err := json.Unmarshal(body, &e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

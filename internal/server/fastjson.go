@@ -1,0 +1,161 @@
+package server
+
+import (
+	"unicode/utf8"
+
+	"slmem/internal/registry"
+)
+
+// fastDecodeBatch decodes a JSON array of flat batch entries — objects whose
+// keys and values are plain strings — without encoding/json's per-entry
+// reflection, which would otherwise dominate the cost of a large batch
+// (roughly 800ns of the ~1.4us a batched op costs end to end).
+//
+// It is deliberately partial: any input outside the fast shape — escaped
+// strings, non-string values, unknown keys, nested structures, or malformed
+// JSON — returns ok=false, and the caller falls back to encoding/json for
+// identical semantics (including the error message on truly bad input). The
+// fast path therefore never changes what the endpoint accepts; it only
+// changes how fast the common shape parses.
+//
+// Decoding stops once more than max entries appear (tooMany=true): the
+// entry cap must bound allocation during decoding, not just be checked
+// after an unbounded slice was built.
+func fastDecodeBatch(data []byte, max int) (entries []registry.BatchOp, ok, tooMany bool) {
+	p := fastParser{buf: data}
+	p.ws()
+	if !p.eat('[') {
+		return nil, false, false
+	}
+	p.ws()
+	if p.eat(']') {
+		p.ws()
+		return entries, p.done(), false
+	}
+	for {
+		if len(entries) >= max {
+			return nil, false, true
+		}
+		p.ws()
+		if !p.eat('{') {
+			return nil, false, false
+		}
+		var e registry.BatchOp
+		p.ws()
+		if !p.eat('}') {
+			for {
+				key, kok := p.str()
+				if !kok {
+					return nil, false, false
+				}
+				p.ws()
+				if !p.eat(':') {
+					return nil, false, false
+				}
+				p.ws()
+				val, vok := p.str()
+				if !vok {
+					return nil, false, false
+				}
+				// string(key) in a switch does not allocate.
+				switch string(key) {
+				case "kind":
+					e.Kind = registry.Kind(val)
+				case "name":
+					e.Name = string(val)
+				case "op":
+					e.Op = registry.Op(val)
+				case "value":
+					e.Value = string(val)
+				case "type":
+					e.Type = string(val)
+				case "invocation":
+					e.Invocation = string(val)
+				default:
+					// Unknown key: its value might not even be a string;
+					// let encoding/json decide what to do with it.
+					return nil, false, false
+				}
+				p.ws()
+				if p.eat(',') {
+					p.ws()
+					continue
+				}
+				if p.eat('}') {
+					break
+				}
+				return nil, false, false
+			}
+		}
+		entries = append(entries, e)
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		if p.eat(']') {
+			break
+		}
+		return nil, false, false
+	}
+	p.ws()
+	return entries, p.done(), false
+}
+
+// fastParser is a cursor over a JSON document supporting exactly the tokens
+// fastDecodeBatch needs.
+type fastParser struct {
+	buf []byte
+	pos int
+}
+
+// ws skips JSON whitespace.
+func (p *fastParser) ws() {
+	for p.pos < len(p.buf) {
+		switch p.buf[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// eat consumes c if it is the next byte.
+func (p *fastParser) eat(c byte) bool {
+	if p.pos < len(p.buf) && p.buf[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// done reports whether the whole document was consumed.
+func (p *fastParser) done() bool { return p.pos == len(p.buf) }
+
+// str consumes a string literal and returns its raw bytes. It reports false
+// on anything that is not a simple string: escapes (backslash), control
+// characters, and invalid UTF-8 bail out so the fallback path handles them
+// with full encoding/json fidelity (which replaces invalid sequences with
+// U+FFFD — the fast path must not decode the same bytes differently).
+func (p *fastParser) str() ([]byte, bool) {
+	if !p.eat('"') {
+		return nil, false
+	}
+	start := p.pos
+	for p.pos < len(p.buf) {
+		c := p.buf[p.pos]
+		if c == '"' {
+			s := p.buf[start:p.pos]
+			p.pos++
+			if !utf8.Valid(s) {
+				return nil, false
+			}
+			return s, true
+		}
+		if c == '\\' || c < 0x20 {
+			return nil, false
+		}
+		p.pos++
+	}
+	return nil, false
+}

@@ -15,9 +15,13 @@
 //	POST /v1/snapshot/{name}/scan                             -> {"ok":true,"view":["x","",...]}
 //	POST /v1/object/{name}/execute   {"type":"set","invocation":"add(3)"}
 //	                                                          -> {"ok":true,"value":"ok"}
+//	POST /v1/batch                   [{"kind":"counter","name":"c","op":"inc"},...]
+//	                                                          -> {"ok":true,"results":[...],"stats":{...}}
 //	GET  /v1/stats                                            -> server and pool metrics
 //
 // Values travel as decimal strings so every endpoint shares one shape.
+// /v1/batch runs every entry under a single pid lease (see docs/API.md for
+// the full reference and docs/ARCHITECTURE.md for the semantics).
 package server
 
 import (
@@ -38,22 +42,43 @@ import (
 // Server is the HTTP front end over a registry. It is an http.Handler and
 // carries the request-level metrics the registry cannot see.
 type Server struct {
-	mux   *http.ServeMux
-	reg   *registry.Registry
-	start time.Time
+	mux         *http.ServeMux
+	reg         *registry.Registry
+	start       time.Time
+	maxBatchOps int
 
 	requests  atomic.Int64
 	failures  atomic.Int64
+	batches   atomic.Int64
+	batchOps  atomic.Int64
 	opsByKind [4]atomic.Int64
 }
 
-// New constructs a server over a fresh registry.
-func New(opts registry.Options) *Server {
-	s := &Server{
-		mux:   http.NewServeMux(),
-		reg:   registry.New(opts),
-		start: time.Now(),
+// Option configures a Server beyond its registry options.
+type Option func(*Server)
+
+// WithMaxBatchOps caps the number of entries accepted per /v1/batch request
+// (default MaxBatchOps). Larger batches are rejected with 413.
+func WithMaxBatchOps(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatchOps = n
+		}
 	}
+}
+
+// New constructs a server over a fresh registry.
+func New(opts registry.Options, extra ...Option) *Server {
+	s := &Server{
+		mux:         http.NewServeMux(),
+		reg:         registry.New(opts),
+		start:       time.Now(),
+		maxBatchOps: MaxBatchOps,
+	}
+	for _, opt := range extra {
+		opt(s)
+	}
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/{kind}/{name}/{op}", s.handleOp)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
@@ -95,6 +120,7 @@ type httpError struct {
 	msg    string
 }
 
+// Error implements the error interface.
 func (e *httpError) Error() string { return e.msg }
 
 func errBadRequest(format string, args ...any) error {
@@ -215,11 +241,15 @@ func (s *Server) reply(w http.ResponseWriter, status int, resp Response) {
 	}
 }
 
-// Stats is the JSON shape of GET /v1/stats.
+// Stats is the JSON shape of GET /v1/stats. Batches counts /v1/batch
+// requests accepted for execution; BatchOps counts the entries they carried
+// (each also appears in Ops under its kind).
 type Stats struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Requests      int64            `json:"requests"`
 	Failures      int64            `json:"failures"`
+	Batches       int64            `json:"batches"`
+	BatchOps      int64            `json:"batch_ops"`
 	Ops           map[string]int64 `json:"ops"`
 	Registry      registry.Stats   `json:"registry"`
 }
@@ -234,6 +264,8 @@ func (s *Server) Stats() Stats {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		Failures:      s.failures.Load(),
+		Batches:       s.batches.Load(),
+		BatchOps:      s.batchOps.Load(),
 		Ops:           ops,
 		Registry:      s.reg.Stats(),
 	}

@@ -2,6 +2,7 @@ package slmem
 
 import (
 	"context"
+	"fmt"
 
 	"slmem/internal/runtime"
 )
@@ -34,6 +35,11 @@ func (p *PIDPool) TryAcquire() (int, bool) { return p.l.TryAcquire() }
 
 // Release returns a leased pid. Releasing a pid that is not leased panics.
 func (p *PIDPool) Release(pid int) { p.l.Release(pid) }
+
+// Holds reports whether pid is currently leased. Batch executors that reuse
+// one lease across many operations assert this between operations to catch
+// a step that gave up the pid it was handed.
+func (p *PIDPool) Holds(pid int) bool { return p.l.Holds(pid) }
 
 // With leases a pid around fn, releasing it even if fn panics.
 func (p *PIDPool) With(ctx context.Context, fn func(pid int) error) error {
@@ -82,6 +88,13 @@ type PoolStats struct {
 // written by whichever goroutine holds the slot's lease, not a map from
 // goroutines to fixed slots. Scan still returns a consistent view of all
 // components.
+//
+// Strong-linearizability contract: every pooled operation runs as the leased
+// process and inherits the underlying snapshot's strong linearizability —
+// once it linearizes, its position in the linearization order is fixed. The
+// lease itself adds no ordering between calls: two pooled calls by the same
+// goroutine may run as different pids (use Batch for a single-process
+// sequence).
 type Pool[V comparable] struct {
 	s    *Snapshot[V]
 	pids *PIDPool
@@ -116,6 +129,18 @@ func (p *Pool[V]) Scan(ctx context.Context) ([]V, error) {
 	return view, err
 }
 
+// Batch leases one pid and runs fn with a handle bound to it, amortizing the
+// lease over every operation fn performs. The operations execute as one
+// process's sequence: each Update and Scan is individually strongly
+// linearizable, but the batch as a whole is not atomic — operations of other
+// processes may linearize between them. fn must not retain the handle after
+// it returns; the pid goes back to the pool (even if fn panics).
+func (p *Pool[V]) Batch(ctx context.Context, fn func(h SnapshotHandle[V]) error) error {
+	return p.pids.With(ctx, func(pid int) error {
+		return fn(p.s.Handle(pid))
+	})
+}
+
 // Unpooled returns the underlying Snapshot.
 func (p *Pool[V]) Unpooled() *Snapshot[V] { return p.s }
 
@@ -123,7 +148,10 @@ func (p *Pool[V]) Unpooled() *Snapshot[V] { return p.s }
 func (p *Pool[V]) PIDs() *PIDPool { return p.pids }
 
 // PooledCounter is a Counter whose operations lease a pid per call, so any
-// goroutine may increment and read it without pid management.
+// goroutine may increment and read it without pid management. Each Inc and
+// Read is strongly linearizable: it runs as the leased process against the
+// paper's snapshot-derived counter, and once linearized its position in the
+// order never changes.
 type PooledCounter struct {
 	c    *Counter
 	pids *PIDPool
@@ -162,6 +190,8 @@ func (c *PooledCounter) Unpooled() *Counter { return c.c }
 func (c *PooledCounter) PIDs() *PIDPool { return c.pids }
 
 // PooledMaxRegister is a MaxRegister whose operations lease a pid per call.
+// Each MaxWrite and MaxRead is strongly linearizable, running as the leased
+// process against the snapshot-derived max-register.
 type PooledMaxRegister struct {
 	m    *MaxRegister
 	pids *PIDPool
@@ -204,7 +234,8 @@ func (m *PooledMaxRegister) Unpooled() *MaxRegister { return m.m }
 func (m *PooledMaxRegister) PIDs() *PIDPool { return m.pids }
 
 // PooledObject is an Object (universal construction) whose Execute leases a
-// pid per call.
+// pid per call. Each invocation is strongly linearizable (Theorem 3);
+// ExecuteMany amortizes one lease over a whole sequence of invocations.
 type PooledObject struct {
 	o    *Object
 	pids *PIDPool
@@ -229,6 +260,31 @@ func (o *PooledObject) Execute(ctx context.Context, invocation string) (string, 
 		return err
 	})
 	return resp, err
+}
+
+// ExecuteMany leases one pid and performs the invocations in order as that
+// process, amortizing the lease over the whole slice. Each invocation is
+// individually strongly linearizable; the batch as a whole is not atomic —
+// other processes' operations may linearize between consecutive invocations.
+// It stops at the first failing invocation (or at context cancellation
+// between invocations) and returns the responses collected so far alongside
+// the error, so callers know exactly which prefix took effect.
+func (o *PooledObject) ExecuteMany(ctx context.Context, invocations []string) ([]string, error) {
+	resps := make([]string, 0, len(invocations))
+	err := o.pids.With(ctx, func(pid int) error {
+		for i, inv := range invocations {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("batch cancelled before invocation %d: %w", i, err)
+			}
+			resp, err := o.o.Execute(pid, inv)
+			if err != nil {
+				return fmt.Errorf("invocation %d %q: %w", i, inv, err)
+			}
+			resps = append(resps, resp)
+		}
+		return nil
+	})
+	return resps, err
 }
 
 // Unpooled returns the underlying Object.

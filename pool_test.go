@@ -202,3 +202,127 @@ func TestPooledOpFailsOnCancelledContext(t *testing.T) {
 		t.Fatalf("Inc error = %v, want context.Canceled", err)
 	}
 }
+
+func TestPoolBatchAmortizesLease(t *testing.T) {
+	p := slmem.NewPool[string](4, "")
+	ctx := context.Background()
+	const ops = 32
+
+	err := p.Batch(ctx, func(h slmem.SnapshotHandle[string]) error {
+		for i := 0; i < ops; i++ {
+			h.Update("v" + strconv.Itoa(i))
+			if view := h.Scan(); view[h.PID()] != "v"+strconv.Itoa(i) {
+				return errors.New("own update not visible in scan")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PIDs().Stats().Acquires; got != 1 {
+		t.Fatalf("batch of %d ops used %d lease acquisitions, want 1", ops, got)
+	}
+	if got := p.PIDs().InUse(); got != 0 {
+		t.Fatalf("pids in use after batch: %d", got)
+	}
+}
+
+func TestPoolBatchErrorPropagatesAndReleases(t *testing.T) {
+	p := slmem.NewPool[int](2, 0)
+	boom := errors.New("boom")
+	if err := p.Batch(context.Background(), func(h slmem.SnapshotHandle[int]) error {
+		h.Update(1)
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("Batch error = %v, want boom", err)
+	}
+	if got := p.PIDs().InUse(); got != 0 {
+		t.Fatalf("pid leaked after failing batch: %d in use", got)
+	}
+}
+
+func TestPIDPoolHolds(t *testing.T) {
+	p := slmem.NewPIDPool(2)
+	if p.Holds(0) || p.Holds(1) {
+		t.Fatal("fresh pool holds pids")
+	}
+	pid, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Holds(pid) {
+		t.Fatalf("Holds(%d) = false while leased", pid)
+	}
+	p.Release(pid)
+	if p.Holds(pid) {
+		t.Fatalf("Holds(%d) = true after release", pid)
+	}
+}
+
+func TestExecuteManyAmortizesLease(t *testing.T) {
+	o := slmem.NewPooledObject(slmem.CounterType{}, 4)
+	ctx := context.Background()
+
+	invs := []string{"inc()", "inc()", "inc()", "read()"}
+	resps, err := o.ExecuteMany(ctx, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(invs) {
+		t.Fatalf("got %d responses for %d invocations", len(resps), len(invs))
+	}
+	if resps[3] != "3" {
+		t.Fatalf("read() = %q, want 3", resps[3])
+	}
+	if got := o.PIDs().Stats().Acquires; got != 1 {
+		t.Fatalf("ExecuteMany used %d lease acquisitions, want 1", got)
+	}
+	if got := o.PIDs().InUse(); got != 0 {
+		t.Fatalf("pids in use after ExecuteMany: %d", got)
+	}
+}
+
+func TestExecuteManyStopsAtFirstError(t *testing.T) {
+	o := slmem.NewPooledObject(slmem.SetType{}, 2)
+	ctx := context.Background()
+
+	resps, err := o.ExecuteMany(ctx, []string{"add(1)", "frob(2)", "add(3)"})
+	if err == nil {
+		t.Fatal("bad invocation accepted")
+	}
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses before the error, want 1 (the valid prefix)", len(resps))
+	}
+	// The op after the failure must not have run.
+	has, err := o.Execute(ctx, "contains(3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if has != "false" {
+		t.Fatal("invocation after a failed one still executed")
+	}
+	if got := o.PIDs().InUse(); got != 0 {
+		t.Fatalf("pid leaked after failing ExecuteMany: %d in use", got)
+	}
+}
+
+func TestExecuteManyCancelledContext(t *testing.T) {
+	o := slmem.NewPooledObject(slmem.CounterType{}, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.ExecuteMany(ctx, []string{"inc()"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteMany error = %v, want context.Canceled", err)
+	}
+}
+
+func TestExecuteManyEmpty(t *testing.T) {
+	o := slmem.NewPooledObject(slmem.CounterType{}, 2)
+	resps, err := o.ExecuteMany(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 0 {
+		t.Fatalf("empty ExecuteMany returned %d responses", len(resps))
+	}
+}
