@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"slmem/internal/kind"
 )
 
 func TestRunSelected(t *testing.T) {
@@ -62,7 +64,7 @@ func TestJSONSummary(t *testing.T) {
 	if err := json.Unmarshal([]byte(line), &sum); err != nil {
 		t.Fatalf("summary is not valid JSON: %v\n%s", err, line)
 	}
-	if sum.Schema != "slbench/v2" {
+	if sum.Schema != "slbench/v3" {
 		t.Errorf("schema = %q", sum.Schema)
 	}
 	if len(sum.Probes) < 8 {
@@ -76,7 +78,8 @@ func TestJSONSummary(t *testing.T) {
 		}
 		// Paper-layer probes must report their register allocation (the
 		// space metric); service-layer probes document it as zero.
-		serviceLayer := strings.HasPrefix(p.Name, "registry/") || strings.HasPrefix(p.Name, "server/")
+		serviceLayer := strings.HasPrefix(p.Name, "registry/") ||
+			strings.HasPrefix(p.Name, "server/") || strings.HasPrefix(p.Name, "driver/")
 		if serviceLayer && p.Registers != 0 {
 			t.Errorf("service-layer probe %q reports registers=%d, want 0", p.Name, p.Registers)
 		}
@@ -92,6 +95,21 @@ func TestJSONSummary(t *testing.T) {
 		if !names[want] {
 			t.Errorf("probe %q missing from summary", want)
 		}
+	}
+	// Schema v3: one probe per registered driver that supplies a probe
+	// request — enumerated, not hardcoded, so this loop is over the live
+	// driver registry and a kind registered tomorrow is covered untouched.
+	for _, d := range kind.Drivers() {
+		p, ok := d.(kind.Prober)
+		if !ok {
+			continue
+		}
+		if want := "driver/" + d.Kind() + "-" + p.Probe().Op; !names[want] {
+			t.Errorf("driver probe %q missing from summary", want)
+		}
+	}
+	if !names["driver/bag-insert"] {
+		t.Error("the bag driver is not registered in slbench (missing driver/bag-insert probe)")
 	}
 	// The derived ratio is what BENCH_*.json records for the batch pipeline;
 	// it must be present and positive (its magnitude is hardware-dependent,

@@ -10,7 +10,9 @@ import (
 	"runtime"
 	"time"
 
+	_ "slmem/internal/bag" // register the bag kind, so driver probes cover it
 	"slmem/internal/core"
+	"slmem/internal/kind"
 	"slmem/internal/memory"
 	"slmem/internal/registry"
 	slruntime "slmem/internal/runtime"
@@ -81,10 +83,12 @@ func measure(d time.Duration, op func()) (int64, float64) {
 }
 
 // emitJSONSummary measures the service-relevant hot paths — direct (caller
-// manages the pid), pooled (a lease per operation), per-request (one HTTP
-// request per operation), and batched (64 operations per request or lease) —
-// and writes one JSON line. The pooled/direct pairs quantify the lease
-// overhead the runtime layer adds; the request/batch pairs quantify what
+// manages the pid), pooled (a lease per operation), per-driver (the generic
+// codec path of every registered kind), per-request (one HTTP request per
+// operation), and batched (64 operations per request or lease) — and writes
+// one JSON line. The pooled/direct pairs quantify the lease overhead the
+// runtime layer adds; the driver probes cover each registered kind through
+// the same dispatch the server uses; the request/batch pairs quantify what
 // /v1/batch amortizes away; bench_test.go carries the full benchmark suite.
 func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
 	const n = 8
@@ -187,6 +191,49 @@ func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
 		})
 	}
 
+	// Driver layer: the generic codec path every registered kind is served
+	// through — driver Compile plus one pid lease and Run per op, against a
+	// registry-resolved instance. The probe set is not a literal kind list:
+	// it enumerates whatever drivers this binary imports (kind.Drivers) and
+	// probes each one that supplies a representative request (kind.Prober),
+	// so a newly registered kind — the Ellen–Sela bag here — shows up in
+	// BENCH_*.json with zero edits to this file.
+	//
+	// These probes run LAST: the bag's inserted items and the universal
+	// object's history stay live in the registry, and running them earlier
+	// would tax every later probe's GC and skew the derived pair against
+	// BENCH_0002 (which had no driver probes). Two numbers here measure
+	// growth, not steady state, by construction: object-execute replays an
+	// unbounded history (its ns/op grows with probe duration — compare it
+	// only across equal -probetime runs), and bag-insert accretes tombstone
+	// cells (bounding both is ROADMAP work).
+	{
+		reg := registry.New(registry.Options{Procs: n})
+		for _, d := range kind.Drivers() {
+			prober, ok := d.(kind.Prober)
+			if !ok {
+				continue
+			}
+			req := prober.Probe()
+			inst, pool, err := reg.Get(registry.Kind(d.Kind()), "bench", req)
+			if err != nil {
+				return fmt.Errorf("driver probe %s: %w", d.Kind(), err)
+			}
+			add("driver/"+d.Kind()+"-"+req.Op, 0, func() {
+				compiled, err := inst.Compile(req)
+				if err != nil {
+					panic(err)
+				}
+				if err := pool.With(ctx, func(pid int) error {
+					_, runErr := compiled.Run(pid)
+					return runErr
+				}); err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+
 	derived := perfDerived{
 		PerRequestOverheadNs:   requestNs - directIncNs,
 		Batch64PerOpOverheadNs: batchNs - directIncNs,
@@ -196,7 +243,7 @@ func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
 	}
 
 	sum := perfSummary{
-		Schema:     "slbench/v2",
+		Schema:     "slbench/v3",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		ProbeMs:    probeTime.Milliseconds(),

@@ -1,9 +1,12 @@
 // Command slserve serves strongly linearizable shared objects over
 // HTTP/JSON. It fronts a named-object registry (internal/registry) through
 // the handler in internal/server: objects are created lazily on first use,
-// all operations lease a process id from one fixed pool of -procs ids, and
+// operations lease a process id from a fixed pool of -procs ids (the shared
+// pool, or a per-kind pool where a driver requests one), and
 // every object is strongly linearizable — the guarantee composed clients
-// need under adversarial scheduling.
+// need under adversarial scheduling. The kind set is open: this binary
+// serves every driver it imports (internal/kind) — the four paper kinds
+// plus the Ellen–Sela bag — and GET /v1/kinds lists them.
 //
 // Usage:
 //
@@ -25,9 +28,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	_ "slmem/internal/bag" // register the bag kind
+	"slmem/internal/kind"
 	"slmem/internal/registry"
 	"slmem/internal/server"
 )
@@ -66,7 +72,8 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("slserve: listening on %s (procs=%d shards=%d)", *addr, *procs, *shards)
+		log.Printf("slserve: listening on %s (procs=%d shards=%d kinds=%s)",
+			*addr, *procs, *shards, strings.Join(kind.Names(), ","))
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}

@@ -589,6 +589,71 @@ func TestBatchSwarm(t *testing.T) {
 	t.Logf("batch swarm: %d batches x %d incs, pool=%+v", totalBatches, incsPerBatch, st.Registry.Pool)
 }
 
+func TestKindsEndpoint(t *testing.T) {
+	ts := testServer(t, 4)
+	res, err := ts.Client().Get(ts.URL + "/v1/kinds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("GET /v1/kinds: code=%d", res.StatusCode)
+	}
+	var kr server.KindsResponse
+	if err := json.NewDecoder(res.Body).Decode(&kr); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string][]string)
+	for _, info := range kr.Kinds {
+		var ops []string
+		for _, op := range info.Ops {
+			ops = append(ops, op.Name)
+		}
+		got[info.Kind] = ops
+	}
+	for kind, wantOps := range map[string][]string{
+		"counter":  {"inc", "read"},
+		"maxreg":   {"write", "read"},
+		"snapshot": {"update", "scan"},
+		"object":   {"execute"},
+		"bag":      {"insert", "remove", "size"},
+	} {
+		ops, ok := got[kind]
+		if !ok {
+			t.Errorf("kind %q missing from /v1/kinds: %v", kind, got)
+			continue
+		}
+		if fmt.Sprint(ops) != fmt.Sprint(wantOps) {
+			t.Errorf("kind %q ops = %v, want %v", kind, ops, wantOps)
+		}
+	}
+}
+
+func TestBatchIntrospectionEntriesHTTP(t *testing.T) {
+	ts := testServer(t, 4)
+	code, r := postBatch(t, ts.Client(), ts.URL, []server.BatchEntry{
+		{Kind: "counter", Name: "c", Op: "inc"},
+		{Kind: "counter", Op: "names"},
+		{Op: "stats"},
+	})
+	if code != 200 || !r.OK {
+		t.Fatalf("introspection batch: code=%d resp=%+v", code, r)
+	}
+	if view := r.Results[1].View; len(view) != 1 || view[0] != "c" {
+		t.Errorf("names entry = %v, want [c]", view)
+	}
+	var st registry.Stats
+	if err := json.Unmarshal([]byte(r.Results[2].Value), &st); err != nil {
+		t.Fatalf("stats entry is not JSON: %v", err)
+	}
+	if st.Objects["counter"] != 1 {
+		t.Errorf("stats entry counted %d counters, want 1", st.Objects["counter"])
+	}
+	if r.Stats.Leases != 1 {
+		t.Errorf("leases = %d, want 1 (introspection entries lease nothing)", r.Stats.Leases)
+	}
+}
+
 func TestRunRejectsBadMaxBatch(t *testing.T) {
 	if err := run([]string{"-maxbatch", "0"}); err == nil {
 		t.Fatal("-maxbatch 0 accepted")

@@ -1,0 +1,234 @@
+// Package bag implements a lock-free strongly linearizable bag (multiset)
+// of strings, following the approach of Ellen and Sela, "Strong
+// Linearizability without Compare&Swap: The Case of Bags" (2024): strong
+// linearizability is achieved from primitives strictly weaker than
+// compare-and-swap — atomic registers (here, the repo's own strongly
+// linearizable snapshot, itself built from registers) plus per-item
+// test-and-set bits (implemented with atomic swap, i.e. fetch-and-store).
+// Like Ovens and Woelfel's snapshot, the point is that the strong guarantee
+// composed randomized clients need does not require the strongest
+// synchronization primitive.
+//
+// # Structure
+//
+// Each process p owns an append-only log of the items it inserted, stored
+// in chunks whose cells carry the value and a test-and-set "claimed" bit.
+// How many items p has published is component p of an n-component strongly
+// linearizable snapshot (slmem.Snapshot[int]): Insert writes the value
+// into the log and then publishes the new count with Update; Remove and
+// Size learn about items only through Scan, so a cell is read only after
+// the Update that published it (the snapshot's internal synchronization
+// makes the value write visible).
+//
+// # Linearization points (proof sketch)
+//
+//   - Insert linearizes at the linearization point of its snapshot Update.
+//     The substrate is strongly linearizable, so this point is fixed once
+//     reached and never revised.
+//   - A successful Remove linearizes at its winning test-and-set — a single
+//     atomic instruction on the item's claimed bit, fixed in the past the
+//     moment it executes. The TAS arbitrates racing removers without CAS;
+//     a won item was published (only scanned items are tried) and
+//     unclaimed (the TAS returned the clear bit), so it is in the bag at
+//     that instant.
+//   - An empty Remove and a Size linearize inside a clean double collect:
+//     Scan (view v), read the claimed bits of every item published in v,
+//     Scan again, and require the second view to equal v. Publication
+//     counts are monotone, so an unchanged view means no insert linearized
+//     between the two scans; claimed bits are monotone (set once, never
+//     cleared), so a bit read as set stays set. At the time τ of the last
+//     bit read, therefore, the published items are exactly those of v, and
+//     — for the empty case — every one of them was already claimed, i.e.
+//     the bag was empty at τ. For Size, the count "published(v) − bits
+//     read as set" is sandwiched between the bag's true size at the first
+//     and last bit read; removals shrink the bag one item at a time and no
+//     insert intervenes, so some instant in that window has exactly the
+//     returned size. Both points lie in the operation's own execution
+//     interval and depend only on events already in the past, which is
+//     what prefix preservation requires.
+//
+// Because every operation's linearization point is fixed by its own past —
+// never chosen retroactively when later operations complete — the
+// composed implementation is strongly linearizable; strong linearizability
+// is preserved under composition of strongly linearizable base objects
+// (Golab, Higham, Woelfel 2011), which the tests in this package check
+// mechanically with internal/lincheck over recorded histories.
+//
+// # Progress and space
+//
+// All operations are lock-free: a Remove retries only when another
+// process's insert published or another remover's TAS won, and Size
+// retries only when an insert published. Space grows with the number of
+// inserts (claimed cells are tombstones), like the repo's universal
+// construction with its unbounded history; bounding it is future work.
+package bag
+
+import (
+	"sync/atomic"
+
+	"slmem"
+)
+
+// chunkSize is the cell count of one log chunk.
+const chunkSize = 64
+
+// chunk is one block of a process's append-only item log. vals[i] is
+// written by the owner before the cell is published through the snapshot
+// and is immutable afterwards; claimed[i] is the item's test-and-set bit.
+type chunk struct {
+	vals    [chunkSize]string
+	claimed [chunkSize]atomic.Uint32
+	next    atomic.Pointer[chunk]
+}
+
+// tas test-and-sets cell i via atomic swap (fetch-and-store — weaker than
+// compare-and-swap), reporting whether this caller claimed it.
+func (c *chunk) tas(i int) bool { return c.claimed[i].Swap(1) == 0 }
+
+// taken reports whether cell i has been claimed.
+func (c *chunk) taken(i int) bool { return c.claimed[i].Load() != 0 }
+
+// ownerLog is process p's append cursor: per-process local state, used
+// only by the current holder of pid p (the lease hand-off provides the
+// happens-before edge, as for all per-pid state in this repo).
+type ownerLog struct {
+	head  *chunk // fixed at construction; readers start here
+	tail  *chunk // owner's append position
+	count int    // items appended == published count after each Insert
+}
+
+// Bag is a lock-free strongly linearizable bag of strings for n processes.
+// Every method takes the calling process id (0 <= pid < n); at most one
+// goroutine may use a given pid at a time. Use Pooled for lease-per-call
+// access.
+type Bag struct {
+	n    int
+	pub  *slmem.Snapshot[int] // component p: #items p has published
+	logs []ownerLog
+}
+
+// New constructs a bag for n processes, initially empty.
+func New(n int) *Bag {
+	b := &Bag{
+		n:    n,
+		pub:  slmem.NewSnapshot[int](n, 0),
+		logs: make([]ownerLog, n),
+	}
+	for p := range b.logs {
+		c := &chunk{}
+		b.logs[p].head = c
+		b.logs[p].tail = c
+	}
+	return b
+}
+
+// N returns the number of processes the bag was constructed for.
+func (b *Bag) N() int { return b.n }
+
+// Insert adds x to the bag, as process pid. Wait-free given the snapshot's
+// wait-free update: one cell write plus one Update.
+func (b *Bag) Insert(pid int, x string) {
+	l := &b.logs[pid]
+	i := l.count % chunkSize
+	if l.count > 0 && i == 0 {
+		// Link a fresh chunk; the atomic store publishes it to readers
+		// (who will only follow it after the count covering it publishes).
+		next := &chunk{}
+		l.tail.next.Store(next)
+		l.tail = next
+	}
+	l.tail.vals[i] = x
+	l.count++
+	// Publication: the Update's linearization point is Insert's.
+	b.pub.Update(pid, l.count)
+}
+
+// walker iterates the published prefix of one process's log.
+type walker struct {
+	c *chunk
+	i int // absolute index of the next cell
+}
+
+// cell returns the chunk and intra-chunk index for the walker's position,
+// advancing chunk boundaries.
+func (w *walker) cell() (*chunk, int) {
+	if w.i > 0 && w.i%chunkSize == 0 {
+		w.c = w.c.next.Load()
+	}
+	return w.c, w.i % chunkSize
+}
+
+// Remove takes some item out of the bag, as process pid. It returns
+// (item, true) on success — linearized at the winning test-and-set — or
+// ("", false) when the bag is observed empty: a clean double collect in
+// which every published item was already claimed. Lock-free: every retry
+// is caused by another process's insert publishing or another remover's
+// test-and-set winning.
+func (b *Bag) Remove(pid int) (string, bool) {
+	view := b.pub.Scan(pid)
+	for {
+		allClaimed := true
+		for p := 0; p < b.n; p++ {
+			w := walker{c: b.logs[p].head}
+			for ; w.i < view[p]; w.i++ {
+				c, i := w.cell()
+				if c.taken(i) {
+					continue
+				}
+				allClaimed = false
+				if c.tas(i) {
+					// Linearization point: this TAS. The item was published
+					// (it is in view) and unclaimed an instant ago.
+					return c.vals[i], true
+				}
+			}
+		}
+		view2 := b.pub.Scan(pid)
+		if allClaimed && equalViews(view, view2) {
+			// Empty case: at the last claimed-bit read, every item
+			// published then (= view, unchanged through the second scan)
+			// was already claimed — the bag was empty at that instant.
+			return "", false
+		}
+		view = view2
+	}
+}
+
+// Size returns the number of items in the bag, as process pid: published
+// inserts minus claimed items, observed in a clean double collect (see the
+// package comment for where it linearizes). Lock-free: it retries only
+// when an insert publishes between the two scans.
+func (b *Bag) Size(pid int) int {
+	view := b.pub.Scan(pid)
+	for {
+		total, claimed := 0, 0
+		for p := 0; p < b.n; p++ {
+			total += view[p]
+			w := walker{c: b.logs[p].head}
+			for ; w.i < view[p]; w.i++ {
+				c, i := w.cell()
+				if c.taken(i) {
+					claimed++
+				}
+			}
+		}
+		view2 := b.pub.Scan(pid)
+		if equalViews(view, view2) {
+			return total - claimed
+		}
+		view = view2
+	}
+}
+
+// equalViews compares two publication views.
+func equalViews(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package bag
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBagSequentialBasics(t *testing.T) {
+	b := New(2)
+	if n := b.Size(0); n != 0 {
+		t.Fatalf("fresh bag size = %d", n)
+	}
+	if item, ok := b.Remove(0); ok {
+		t.Fatalf("remove from empty bag returned %q", item)
+	}
+	b.Insert(0, "a")
+	b.Insert(1, "b")
+	b.Insert(0, "a") // duplicates are kept: a bag, not a set
+	if n := b.Size(1); n != 3 {
+		t.Fatalf("size = %d, want 3", n)
+	}
+	got := map[string]int{}
+	for i := 0; i < 3; i++ {
+		item, ok := b.Remove(i % 2)
+		if !ok {
+			t.Fatalf("remove %d reported empty", i)
+		}
+		got[item]++
+	}
+	if got["a"] != 2 || got["b"] != 1 {
+		t.Fatalf("removed multiset = %v, want a:2 b:1", got)
+	}
+	if n := b.Size(0); n != 0 {
+		t.Fatalf("size after draining = %d", n)
+	}
+	if _, ok := b.Remove(0); ok {
+		t.Fatal("drained bag still removes")
+	}
+}
+
+// TestBagChunkBoundaries pushes one process's log across several chunks
+// and drains it, exercising the linked-chunk walker on both the remove and
+// size paths.
+func TestBagChunkBoundaries(t *testing.T) {
+	const items = 3*chunkSize + 7
+	b := New(2)
+	want := map[string]bool{}
+	for i := 0; i < items; i++ {
+		x := fmt.Sprintf("x%d", i)
+		b.Insert(0, x)
+		want[x] = true
+	}
+	if n := b.Size(1); n != items {
+		t.Fatalf("size = %d, want %d", n, items)
+	}
+	for i := 0; i < items; i++ {
+		item, ok := b.Remove(1)
+		if !ok {
+			t.Fatalf("remove %d reported empty", i)
+		}
+		if !want[item] {
+			t.Fatalf("removed %q twice or never inserted", item)
+		}
+		delete(want, item)
+	}
+	if len(want) != 0 {
+		t.Fatalf("items lost: %v", want)
+	}
+	if _, ok := b.Remove(0); ok {
+		t.Fatal("drained bag still removes")
+	}
+}
+
+// TestBagConservation is the core exclusivity check, run with real
+// goroutines (and -race in CI): concurrent producers insert unique items
+// while consumers remove; every item must be removed exactly once —
+// the test&set arbitration may never hand one item to two removers, and
+// claimed items may never resurface.
+func TestBagConservation(t *testing.T) {
+	const n = 8
+	producers, perProducer := 4, 120
+	if testing.Short() {
+		producers, perProducer = 4, 40
+	}
+	pb := NewPooled(n)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	removed := make(chan string, producers*perProducer)
+	var consumers sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 3; c++ {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for {
+				item, ok, err := pb.Remove(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					removed <- item
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := pb.Insert(ctx, fmt.Sprintf("p%d-i%d", p, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	consumers.Wait()
+
+	// Drain what the consumers left behind.
+	for {
+		item, ok, err := pb.Remove(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		removed <- item
+	}
+	close(removed)
+
+	seen := map[string]bool{}
+	for item := range removed {
+		if seen[item] {
+			t.Fatalf("item %q removed twice", item)
+		}
+		seen[item] = true
+	}
+	if got, want := len(seen), producers*perProducer; got != want {
+		t.Fatalf("removed %d distinct items, want %d", got, want)
+	}
+	if n, err := pb.Size(ctx); err != nil || n != 0 {
+		t.Fatalf("final size = %d, %v", n, err)
+	}
+	if pb.PIDs().InUse() != 0 {
+		t.Fatalf("pids leaked: %d", pb.PIDs().InUse())
+	}
+}
+
+// TestBagSizeNeverNegative hammers size against concurrent churn: whatever
+// interleaving happens, a linearizable size can never be negative nor
+// exceed the number of items ever inserted.
+func TestBagSizeNeverNegative(t *testing.T) {
+	const n = 4
+	iters := 400
+	if testing.Short() {
+		iters = 100
+	}
+	pb := NewPooled(n)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				pb.Insert(ctx, fmt.Sprintf("g%d-%d", g, i))
+				pb.Remove(ctx)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		sz, err := pb.Size(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz < 0 || sz > 2*iters {
+			t.Fatalf("size = %d out of range [0,%d]", sz, 2*iters)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package bag
+
+import (
+	"context"
+
+	"slmem"
+)
+
+// PooledBag is a Bag whose operations lease a pid per call, so any
+// goroutine may use it without pid management. Each Insert, Remove, and
+// Size is strongly linearizable: it runs as the leased process, and once
+// linearized its position in the linearization order never changes (the
+// lease itself adds no ordering between calls, as for every pooled wrapper
+// in this repo).
+type PooledBag struct {
+	b    *Bag
+	pids *slmem.PIDPool
+}
+
+// NewPooled constructs a bag for n processes with its own pid pool.
+func NewPooled(n int) *PooledBag {
+	return New(n).Pooled(slmem.NewPIDPool(n))
+}
+
+// Pooled binds the bag to a pid pool (sized for the same n).
+func (b *Bag) Pooled(p *slmem.PIDPool) *PooledBag { return &PooledBag{b: b, pids: p} }
+
+// Insert leases a pid and adds x to the bag.
+func (p *PooledBag) Insert(ctx context.Context, x string) error {
+	return p.pids.With(ctx, func(pid int) error {
+		p.b.Insert(pid, x)
+		return nil
+	})
+}
+
+// Remove leases a pid and takes some item out of the bag; ok is false when
+// the bag was observed empty.
+func (p *PooledBag) Remove(ctx context.Context) (item string, ok bool, err error) {
+	err = p.pids.With(ctx, func(pid int) error {
+		item, ok = p.b.Remove(pid)
+		return nil
+	})
+	return item, ok, err
+}
+
+// Size leases a pid and returns the number of items in the bag.
+func (p *PooledBag) Size(ctx context.Context) (int, error) {
+	var n int
+	err := p.pids.With(ctx, func(pid int) error {
+		n = p.b.Size(pid)
+		return nil
+	})
+	return n, err
+}
+
+// Unpooled returns the underlying Bag.
+func (p *PooledBag) Unpooled() *Bag { return p.b }
+
+// PIDs returns the pool of process ids backing this bag.
+func (p *PooledBag) PIDs() *slmem.PIDPool { return p.pids }

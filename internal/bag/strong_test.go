@@ -1,0 +1,150 @@
+package bag
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"slmem/internal/harness"
+	"slmem/internal/lincheck"
+	"slmem/internal/spec"
+)
+
+// runBurst drives one burst of concurrent bag traffic through the POOLED
+// path (pids leased per call, like real service traffic) and records the
+// outcome-refined history: each remove is recorded as "remove(item)" or as
+// "remove()" when it reported empty, so the nondeterministic bag checks
+// against the deterministic refined spec.Bag. Recorder pids are client
+// ids: the checker's happens-before comes from the recorder's global
+// clock, and spec.Bag ignores pids.
+func runBurst(t *testing.T, burst, clients, opsPer int, rec *harness.Recorder) {
+	t.Helper()
+	pb := NewPooled(3) // pool smaller than client count: leases contend
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					x := fmt.Sprintf("b%dg%di%d", burst, g, i)
+					tok := rec.Invoke(g, "insert("+x+")")
+					if err := pb.Insert(ctx, x); err != nil {
+						t.Error(err)
+						return
+					}
+					tok.Return("ok")
+				case 1:
+					tok := rec.Invoke(g, "remove()")
+					item, ok, err := pb.Remove(ctx)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if ok {
+						tok.ReturnRefined("remove("+item+")", item)
+					} else {
+						tok.ReturnRefined("remove()", spec.Bot)
+					}
+				default:
+					tok := rec.Invoke(g, "size()")
+					n, err := pb.Size(ctx)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					tok.Return(strconv.Itoa(n))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBagPooledLinearizable checks recorded bursts of pooled bag traffic
+// for linearizability against the refined bag specification.
+func TestBagPooledLinearizable(t *testing.T) {
+	bursts := 60
+	if testing.Short() {
+		bursts = 15
+	}
+	err := harness.CheckNativeBursts(spec.Bag{}, bursts, func(burst int, rec *harness.Recorder) {
+		runBurst(t, burst, 4, 3, rec)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBagPooledStrongChains checks the per-execution necessary condition
+// for strong linearizability on histories recorded through the pooled
+// path: CheckStrong over the prefix chain of each burst must find a
+// prefix-preserving linearization function — once an operation linearizes
+// at some cut, no later cut may need to reorder it.
+func TestBagPooledStrongChains(t *testing.T) {
+	bursts := 40
+	if testing.Short() {
+		bursts = 10
+	}
+	rec := harness.NewRecorder()
+	for burst := 0; burst < bursts; burst++ {
+		rec.Reset()
+		runBurst(t, burst, 4, 3, rec)
+		h := rec.History()
+		if len(h.Ops) > 62 {
+			t.Fatalf("burst %d recorded %d ops, max 62", burst, len(h.Ops))
+		}
+		res, err := lincheck.CheckStrong(lincheck.ChainFromHistory(h), spec.Bag{})
+		if err != nil {
+			t.Fatalf("burst %d: %v", burst, err)
+		}
+		if !res.Ok {
+			t.Fatalf("burst %d: no prefix-preserving linearization (fails at %s):\n%s",
+				burst, res.FailNode, h)
+		}
+	}
+}
+
+// TestBagRefinedSpecSanity pins the refined specification's behavior: a
+// refined remove can only linearize where its item is present, and an
+// empty remove only on the empty bag.
+func TestBagRefinedSpecSanity(t *testing.T) {
+	sp := spec.Bag{}
+	st := sp.Initial()
+	if st != "{}" {
+		t.Fatalf("initial = %q", st)
+	}
+	st, resp, err := sp.Apply(st, 0, "insert(a)")
+	if err != nil || resp != "ok" {
+		t.Fatalf("insert: %q %v", resp, err)
+	}
+	st, resp, err = sp.Apply(st, 1, "insert(a)")
+	if err != nil || resp != "ok" || st != "a,a" {
+		t.Fatalf("dup insert: state %q resp %q err %v", st, resp, err)
+	}
+	if _, resp, _ = sp.Apply(st, 0, "remove()"); resp != "nonempty" {
+		t.Fatalf("refined empty remove on non-empty bag = %q", resp)
+	}
+	if _, resp, _ = sp.Apply(st, 0, "remove(zz)"); resp != "absent" {
+		t.Fatalf("remove of absent item = %q", resp)
+	}
+	st, resp, err = sp.Apply(st, 0, "remove(a)")
+	if err != nil || resp != "a" || st != "a" {
+		t.Fatalf("remove: state %q resp %q err %v", st, resp, err)
+	}
+	if _, resp, _ = sp.Apply(st, 0, "size()"); resp != "1" {
+		t.Fatalf("size = %q", resp)
+	}
+	st, resp, err = sp.Apply(st, 0, "remove(a)")
+	if err != nil || resp != "a" || st != "{}" {
+		t.Fatalf("last remove: state %q resp %q err %v", st, resp, err)
+	}
+	if _, resp, _ = sp.Apply(st, 0, "remove()"); resp != spec.Bot {
+		t.Fatalf("empty remove on empty bag = %q, want %q", resp, spec.Bot)
+	}
+}

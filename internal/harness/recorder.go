@@ -65,11 +65,23 @@ type OpToken struct {
 
 // Return completes the operation with the canonical response encoding.
 func (t OpToken) Return(res string) {
+	t.ReturnRefined(t.desc, res)
+}
+
+// ReturnRefined completes the operation, rewriting its description to
+// desc. This is how nondeterministic-by-response types are checked against
+// deterministic specifications: a bag's remove() is recorded as the
+// refined "remove(x)" naming the item it actually took (or "remove()" when
+// it reported empty), and the history is checked against the refined spec
+// (spec.Bag). The invocation tick was taken at Invoke, so the operation's
+// real-time interval is unchanged — only the checker-facing description is
+// refined post hoc.
+func (t OpToken) ReturnRefined(desc, res string) {
 	ret := t.r.clock.Add(1)
 	t.r.mu.Lock()
 	defer t.r.mu.Unlock()
 	t.r.ops = append(t.r.ops, recordedOp{
-		id: t.id, pid: t.pid, desc: t.desc, res: res, inv: t.inv, ret: ret,
+		id: t.id, pid: t.pid, desc: desc, res: res, inv: t.inv, ret: ret,
 	})
 }
 

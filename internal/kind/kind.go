@@ -1,0 +1,353 @@
+// Package kind is the open driver API of the named-object registry: the
+// seam through which object kinds (counter, maxreg, snapshot, object, bag,
+// ...) plug into internal/registry, internal/server, and the cmds without
+// any of those layers naming a kind explicitly.
+//
+// A driver, in the spirit of database/sql driver registration, declares
+//
+//   - a kind name and an op list (introspection: GET /v1/kinds, slbench),
+//   - a constructor New that builds one named instance over a pid pool,
+//   - a typed op codec: Validate rejects requests that can never succeed
+//     (before any object is created), and Instance.Compile turns a request
+//     into an executable Compiled step bound to the instance,
+//   - Options, e.g. a request for a dedicated per-kind pid pool.
+//
+// Drivers register themselves in an init function:
+//
+//	func init() { kind.Register(bagDriver{}) }
+//
+// and from then on the registry, the batch compiler, the HTTP server, and
+// the benchmarks serve the kind with zero edits — that is the contract this
+// package exists to enforce. The four paper kinds live in
+// internal/kind/builtin; internal/bag adds the Ellen–Sela bag.
+package kind
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"slmem"
+)
+
+// Request is the wire-level form of one operation, shared by the
+// single-operation endpoints and batch entries: the op name plus the three
+// operand fields every kind draws from (Value for plain operands, Type and
+// Invocation for universal objects). Drivers read only the fields their ops
+// need and must reject requests whose meaningful fields are malformed.
+type Request struct {
+	// Op names the operation, e.g. "inc".
+	Op string
+	// Value is the plain operand (a decimal for maxreg write, the component
+	// text for snapshot update, the item for bag insert).
+	Value string
+	// Type names the simple type for universal-object kinds.
+	Type string
+	// Invocation is the invocation string for universal-object kinds.
+	Invocation string
+}
+
+// Result is the outcome of one executed operation. At most one payload
+// field is set, mirroring the HTTP response envelope: Value for scalar
+// responses, View for vector responses, neither for pure writes.
+type Result struct {
+	// Value is the scalar response, if any.
+	Value string
+	// View is the vector response, if any.
+	View []string
+}
+
+// Compiled is a validated operation bound to an instance, ready to run as a
+// leased process. Run executes it as process pid; implementations must be
+// safe for reuse (a driver may hand out one cached Compiled for an
+// operandless op forever) and must not acquire or release pids themselves —
+// the caller owns the lease.
+type Compiled interface {
+	// Run executes the operation as process pid.
+	Run(pid int) (Result, error)
+}
+
+// Instance is one named object created by a driver. Instances are cached by
+// the registry and shared by every goroutine that names them.
+type Instance interface {
+	// Compile validates req against this instance and returns the executable
+	// step. It must not execute the operation and must return an error (not
+	// panic) for ops the instance cannot run — including per-instance
+	// conflicts such as a universal object addressed with the wrong type,
+	// reported via Conflict so HTTP maps it to 409.
+	Compile(req Request) (Compiled, error)
+}
+
+// Unwrapper is implemented by instances that expose an underlying typed
+// object, letting the registry's typed accessors stay thin shims over the
+// generic driver path.
+type Unwrapper interface {
+	// Unwrap returns the underlying typed object (e.g. *slmem.PooledCounter).
+	Unwrap() any
+}
+
+// TypeNamer is implemented by instances parameterized by a type name (the
+// universal-object kind), so callers can detect create-time type conflicts
+// without compiling an op.
+type TypeNamer interface {
+	// TypeName returns the simple-type name the instance was created with.
+	TypeName() string
+}
+
+// OpInfo describes one operation a driver supports, for introspection.
+type OpInfo struct {
+	// Name is the op name as it appears in requests, e.g. "inc".
+	Name string `json:"name"`
+	// Doc is a one-line human description.
+	Doc string `json:"doc,omitempty"`
+}
+
+// Options declare kind-wide behavior the registry honors at instance
+// creation.
+type Options struct {
+	// DedicatedPool requests a per-kind pid pool: instances of this kind
+	// lease from their own pool of Procs ids instead of the registry's
+	// shared pool, so a hot kind cannot starve the rest of the service (and
+	// vice versa). Batches mixing kinds acquire one lease per pool.
+	DedicatedPool bool
+}
+
+// Env is what the registry hands a driver when creating an instance.
+type Env struct {
+	// Name is the object's registry name.
+	Name string
+	// Procs is the process-pool size n; the instance must size its
+	// per-process state for pids 0..Procs-1.
+	Procs int
+	// Pool is the pid pool the instance's operations will lease from (the
+	// registry's shared pool, or a per-kind pool when the driver's Options
+	// request one).
+	Pool *slmem.PIDPool
+	// Req is the request that triggered creation; drivers whose instances
+	// are parameterized (the universal object's simple type) read their
+	// parameters from it.
+	Req Request
+}
+
+// Driver creates and describes instances of one object kind.
+type Driver interface {
+	// Kind returns the kind name, e.g. "counter". It must be non-empty,
+	// must not contain '/', and is the path segment HTTP clients use.
+	Kind() string
+	// Doc returns a one-line description of the kind.
+	Doc() string
+	// Ops lists the supported operations in stable order.
+	Ops() []OpInfo
+	// Options returns the kind-wide options.
+	Options() Options
+	// Validate reports whether req could ever succeed against some instance
+	// of this kind, without creating or touching any object: unknown ops
+	// (wrapped as NotFound), malformed operands, and unknown types must be
+	// rejected here so doomed requests never register objects.
+	Validate(req Request) error
+	// New creates the named instance. It is called at most once per name
+	// (under the registry's shard lock) with a request that already passed
+	// Validate.
+	New(env Env) (Instance, error)
+}
+
+// Prober is implemented by drivers that supply a representative mutating
+// request for perf probes; cmd/slbench measures one instance of every
+// registered Prober through the driver codec.
+type Prober interface {
+	// Probe returns a request suitable for tight-loop benchmarking.
+	Probe() Request
+}
+
+// --- Error classification ----------------------------------------------------
+
+// ErrNotFound marks errors for names that do not exist in the op space:
+// unknown kinds and unknown ops. HTTP maps it to 404.
+var ErrNotFound = errors.New("not found")
+
+// ErrConflict marks errors for requests that contradict existing state,
+// e.g. a universal object addressed with a different type than it was
+// created with. HTTP maps it to 409.
+var ErrConflict = errors.New("conflict")
+
+// classified carries a human message plus a classification sentinel, so
+// error text stays clean while errors.Is sees the class.
+type classified struct {
+	msg   string
+	class error
+}
+
+// Error implements error.
+func (e *classified) Error() string { return e.msg }
+
+// Unwrap exposes the classification sentinel to errors.Is.
+func (e *classified) Unwrap() error { return e.class }
+
+// NotFound formats an error classified as ErrNotFound.
+func NotFound(format string, args ...any) error {
+	return &classified{fmt.Sprintf(format, args...), ErrNotFound}
+}
+
+// Conflict formats an error classified as ErrConflict.
+func Conflict(format string, args ...any) error {
+	return &classified{fmt.Sprintf(format, args...), ErrConflict}
+}
+
+// IsNotFound reports whether err is classified as not-found.
+func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
+
+// IsConflict reports whether err is classified as a conflict.
+func IsConflict(err error) bool { return errors.Is(err, ErrConflict) }
+
+// --- Global driver registry ---------------------------------------------------
+
+// ReservedOps are op names claimed by the registry itself for batch-level
+// introspection entries; Register rejects drivers that declare them.
+var ReservedOps = []string{"names", "stats"}
+
+// drivers is the registered driver set, published copy-on-write so Lookup
+// is a single atomic load on the hot path. interned maps every registered
+// kind name and op name (plus the reserved introspection ops) to one
+// canonical string, maintained the same way, so hot-path decoders can
+// resolve vocabulary bytes to strings without allocating.
+var (
+	regMu    sync.Mutex
+	drivers  atomic.Pointer[map[string]Driver]
+	interned atomic.Pointer[map[string]string]
+)
+
+func init() {
+	m := map[string]Driver{}
+	drivers.Store(&m)
+	in := make(map[string]string, len(ReservedOps))
+	for _, op := range ReservedOps {
+		in[op] = op
+	}
+	interned.Store(&in)
+}
+
+// Register makes a driver available under its kind name. It panics if the
+// name is empty, contains '/', collides with a registered driver, or
+// declares a reserved op — all programmer errors, following database/sql.
+// Safe for concurrent use.
+func Register(d Driver) {
+	name := d.Kind()
+	if name == "" || strings.ContainsRune(name, '/') {
+		panic(fmt.Sprintf("kind: invalid kind name %q", name))
+	}
+	for _, op := range d.Ops() {
+		for _, reserved := range ReservedOps {
+			if op.Name == reserved {
+				panic(fmt.Sprintf("kind: driver %q declares reserved op %q", name, reserved))
+			}
+		}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	old := *drivers.Load()
+	if _, dup := old[name]; dup {
+		panic(fmt.Sprintf("kind: Register called twice for kind %q", name))
+	}
+	next := make(map[string]Driver, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = d
+	drivers.Store(&next)
+
+	oldIn := *interned.Load()
+	nextIn := make(map[string]string, len(oldIn)+1+len(d.Ops()))
+	for k, v := range oldIn {
+		nextIn[k] = v
+	}
+	nextIn[name] = name
+	for _, op := range d.Ops() {
+		nextIn[op.Name] = op.Name
+	}
+	interned.Store(&nextIn)
+}
+
+// Intern returns the canonical string for b when b spells a registered kind
+// name, a registered op name, or a reserved introspection op. The lookup is
+// keyed by string(b) inside a map index expression, which Go does not
+// allocate for — hot-path decoders use it to avoid one allocation per
+// vocabulary field. ok is false for anything outside the vocabulary; safe
+// for concurrent use with Register.
+func Intern(b []byte) (s string, ok bool) {
+	s, ok = (*interned.Load())[string(b)]
+	return s, ok
+}
+
+// Lookup returns the driver registered under name. The fast path is one
+// atomic load; safe for concurrent use with Register.
+func Lookup(name string) (Driver, bool) {
+	d, ok := (*drivers.Load())[name]
+	return d, ok
+}
+
+// Names returns the registered kind names, sorted.
+func Names() []string {
+	m := *drivers.Load()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drivers returns the registered drivers, sorted by kind name. It iterates
+// one snapshot of the driver map — using Names() here would load a second,
+// possibly newer snapshot and hand back a nil Driver for a kind registered
+// between the two loads.
+func Drivers() []Driver {
+	m := *drivers.Load()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ds := make([]Driver, 0, len(names))
+	for _, name := range names {
+		ds = append(ds, m[name])
+	}
+	return ds
+}
+
+// Info is the introspection record for one registered driver, the unit of
+// GET /v1/kinds replies.
+type Info struct {
+	// Kind is the kind name.
+	Kind string `json:"kind"`
+	// Doc is the driver's one-line description.
+	Doc string `json:"doc,omitempty"`
+	// Ops lists the supported operations.
+	Ops []OpInfo `json:"ops"`
+	// DedicatedPool reports whether instances lease from a per-kind pool.
+	DedicatedPool bool `json:"dedicated_pool,omitempty"`
+}
+
+// Describe returns introspection records for every registered driver,
+// sorted by kind name.
+func Describe() []Info {
+	ds := Drivers()
+	infos := make([]Info, 0, len(ds))
+	for _, d := range ds {
+		infos = append(infos, Info{
+			Kind:          d.Kind(),
+			Doc:           d.Doc(),
+			Ops:           d.Ops(),
+			DedicatedPool: d.Options().DedicatedPool,
+		})
+	}
+	return infos
+}
+
+// UnknownKind builds the canonical error for an unregistered kind name,
+// classified as not-found.
+func UnknownKind(name string) error {
+	return NotFound("unknown object kind %q (registered: %s)", name, strings.Join(Names(), ", "))
+}

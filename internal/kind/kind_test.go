@@ -1,0 +1,189 @@
+package kind
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"slmem"
+)
+
+// stubDriver is a minimal driver for registration tests.
+type stubDriver struct {
+	name string
+	ops  []OpInfo
+	opts Options
+}
+
+func (d stubDriver) Kind() string           { return d.name }
+func (d stubDriver) Doc() string            { return "stub" }
+func (d stubDriver) Ops() []OpInfo          { return d.ops }
+func (d stubDriver) Options() Options       { return d.opts }
+func (d stubDriver) Validate(Request) error { return nil }
+func (d stubDriver) New(env Env) (Instance, error) {
+	return stubInstance{}, nil
+}
+
+type stubInstance struct{}
+
+func (stubInstance) Compile(req Request) (Compiled, error) {
+	return stubCompiled{}, nil
+}
+
+type stubCompiled struct{}
+
+func (stubCompiled) Run(pid int) (Result, error) { return Result{Value: "stub"}, nil }
+
+func TestRegisterLookupDescribe(t *testing.T) {
+	d := stubDriver{name: "test-alpha", ops: []OpInfo{{Name: "poke", Doc: "pokes"}}}
+	Register(d)
+	got, ok := Lookup("test-alpha")
+	if !ok {
+		t.Fatal("registered driver not found")
+	}
+	if got.Kind() != "test-alpha" {
+		t.Fatalf("Lookup returned driver %q", got.Kind())
+	}
+	if _, ok := Lookup("test-never-registered"); ok {
+		t.Fatal("unregistered kind found")
+	}
+	found := false
+	for _, info := range Describe() {
+		if info.Kind == "test-alpha" {
+			found = true
+			if len(info.Ops) != 1 || info.Ops[0].Name != "poke" {
+				t.Fatalf("Describe ops = %+v", info.Ops)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Describe omits registered driver")
+	}
+}
+
+func TestRegisterRejectsBadDrivers(t *testing.T) {
+	mustPanic := func(name string, d Driver) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(d)
+	}
+	mustPanic("empty name", stubDriver{name: ""})
+	mustPanic("slash in name", stubDriver{name: "a/b"})
+	mustPanic("reserved op", stubDriver{name: "test-reserved", ops: []OpInfo{{Name: "names"}}})
+
+	Register(stubDriver{name: "test-dup"})
+	mustPanic("duplicate", stubDriver{name: "test-dup"})
+}
+
+func TestNamesSorted(t *testing.T) {
+	Register(stubDriver{name: "test-zz"})
+	Register(stubDriver{name: "test-aa"})
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+// TestConcurrentRegistration races many registrations against lookups and
+// enumeration: the copy-on-write publication must keep every reader
+// consistent while writers add drivers (run under -race).
+func TestConcurrentRegistration(t *testing.T) {
+	const writers = 16
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: hammer Lookup and Names while registration happens.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				Lookup("test-conc-7")
+				for i, name := range Names() {
+					if i > 0 && name == "" {
+						t.Error("empty name in Names")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Register(stubDriver{name: fmt.Sprintf("test-conc-%d", w)})
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Lookup("test-conc-0")
+		}()
+	}
+	// Wait for writers+lookups, then stop readers.
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	for w := 0; w < writers; w++ {
+		if _, ok := Lookup(fmt.Sprintf("test-conc-%d", w)); !ok {
+			t.Errorf("driver test-conc-%d lost during concurrent registration", w)
+		}
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	nf := NotFound("no such thing %q", "x")
+	if !IsNotFound(nf) || IsConflict(nf) {
+		t.Fatalf("NotFound misclassified: %v", nf)
+	}
+	if want := `no such thing "x"`; nf.Error() != want {
+		t.Fatalf("NotFound text = %q, want %q", nf.Error(), want)
+	}
+	cf := Conflict("already there")
+	if !IsConflict(cf) || IsNotFound(cf) {
+		t.Fatalf("Conflict misclassified: %v", cf)
+	}
+	if IsNotFound(fmt.Errorf("plain")) || IsConflict(fmt.Errorf("plain")) {
+		t.Fatal("plain error classified")
+	}
+	uk := UnknownKind("nope")
+	if !IsNotFound(uk) || !strings.Contains(uk.Error(), "nope") {
+		t.Fatalf("UnknownKind = %v", uk)
+	}
+}
+
+// TestEnvCarriesPool is a compile-and-smoke check that Env plumbs the pool
+// through to instances.
+func TestEnvCarriesPool(t *testing.T) {
+	pool := slmem.NewPIDPool(2)
+	d := stubDriver{name: "test-env"}
+	Register(d)
+	inst, err := d.New(Env{Name: "n", Procs: 2, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := inst.Compile(Request{Op: "poke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(0)
+	if err != nil || res.Value != "stub" {
+		t.Fatalf("Run = %+v, %v", res, err)
+	}
+}

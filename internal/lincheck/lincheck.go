@@ -18,6 +18,7 @@ package lincheck
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"slmem/internal/sched"
@@ -216,6 +217,43 @@ func ChainFromTranscript(t *trace.Transcript) *Node {
 			Label: fmt.Sprintf("prefix[:%d]", cut),
 			H:     t.Prefix(cut).Interpreted(),
 		}
+		cur.Children = []*Node{child}
+		cur = child
+	}
+	return root
+}
+
+// ChainFromHistory builds the path tree of a recorded history: one node
+// per prefix of the history cut at each invocation/response tick, where an
+// operation invoked by a cut but not yet returned appears pending. A
+// prefix-preserving linearization function must exist along every single
+// execution, so CheckStrong on this chain is a necessary condition for
+// strong linearizability that can be monitored on histories captured from
+// native runs (harness.Recorder), complementing ChainFromTranscript for
+// simulated ones.
+func ChainFromHistory(h *trace.History) *Node {
+	var cuts []int
+	for _, op := range h.Ops {
+		cuts = append(cuts, op.Inv)
+		if op.Complete() {
+			cuts = append(cuts, op.Ret)
+		}
+	}
+	sort.Ints(cuts)
+	root := &Node{Label: "ε", H: &trace.History{}}
+	cur := root
+	for _, cut := range cuts {
+		sub := &trace.History{}
+		for _, op := range h.Ops {
+			if op.Inv > cut {
+				continue
+			}
+			if !op.Complete() || op.Ret > cut {
+				op.Ret = -1 // pending at this cut
+			}
+			sub.Ops = append(sub.Ops, op)
+		}
+		child := &Node{Label: fmt.Sprintf("cut[:%d]", cut), H: sub}
 		cur.Children = []*Node{child}
 		cur = child
 	}

@@ -2,19 +2,25 @@ package registry
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
-	"strconv"
+	"sort"
 
 	"slmem"
+	"slmem/internal/kind"
 )
 
-// Op names the operations BatchExecute can run, matching the final path
-// segment of the server's single-operation endpoints.
+// Op names an operation in a batch, matching the final path segment of the
+// server's single-operation endpoints. The op space is open — any op a
+// registered driver declares is valid for its kind — plus the reserved
+// registry-level introspection ops OpNames and OpStats.
 type Op string
 
-// Supported batch operations. Which ops are valid depends on the kind:
+// Ops of the built-in kinds, as constants for compile-time checked callers:
 // counters accept inc/read, max-registers write/read, snapshots update/scan,
-// and universal objects execute.
+// and universal objects execute. Other kinds (e.g. the bag) define their op
+// names in their drivers.
 const (
 	OpInc     Op = "inc"
 	OpRead    Op = "read"
@@ -24,10 +30,20 @@ const (
 	OpExecute Op = "execute"
 )
 
+// Reserved registry-level introspection ops, valid in batches for any
+// registered kind (kind.ReservedOps keeps drivers from claiming them).
+const (
+	// OpNames lists the registered names of the entry's kind in View.
+	OpNames Op = "names"
+	// OpStats reports registry stats as a JSON document in Value.
+	OpStats Op = "stats"
+)
+
 // BatchOp is one typed operation in a batch: an operation Op against the
 // named object of the given kind. Value is the operand where the operation
 // takes one (a decimal for maxreg write, the component text for snapshot
-// update); Type and Invocation are used only by object execute.
+// update, the item for bag insert); Type and Invocation are used only by
+// object execute.
 type BatchOp struct {
 	Kind       Kind   `json:"kind"`
 	Name       string `json:"name"`
@@ -49,31 +65,24 @@ type BatchResult struct {
 	Err   error
 }
 
-// opCode is the dense dispatch code a BatchOp compiles to.
-type opCode uint8
+// stepKind classifies a compiled batch entry.
+type stepKind uint8
 
 const (
-	opInvalid opCode = iota
-	opCounterInc
-	opCounterRead
-	opMaxWrite
-	opMaxRead
-	opSnapUpdate
-	opSnapScan
-	opObjExecute
+	stepInvalid stepKind = iota
+	stepRun              // a driver op: run compiled as the pool's leased pid
+	stepNames            // registry introspection: names of a kind
+	stepStats            // registry introspection: stats document
 )
 
-// compiledOp is a validated BatchOp with its target resolved and operand
-// parsed, so the leased execution loop is a plain switch with no map
-// lookups, parsing, or closure calls.
-type compiledOp struct {
-	code    opCode
-	counter *slmem.Counter
-	maxreg  *slmem.MaxRegister
-	snap    *slmem.Snapshot[string]
-	object  *slmem.Object
-	u64     uint64
-	str     string
+// step is a validated BatchOp with its target resolved and operand parsed,
+// so the leased execution loop is a tight dispatch with no map lookups or
+// parsing.
+type step struct {
+	kind stepKind
+	run  kind.Compiled
+	pool *slmem.PIDPool // pool run leases from (stepRun only)
+	k    Kind           // kind operand (stepNames only)
 }
 
 // memoKey identifies a resolved object within one batch without allocating
@@ -83,37 +92,54 @@ type memoKey struct {
 	name string
 }
 
+// resolvedEntry memoizes one registry resolution within a batch.
+type resolvedEntry struct {
+	inst kind.Instance
+	pool *slmem.PIDPool
+}
+
 // BatchOutcome is what BatchExecute returns: one result per op,
 // positionally, plus the aggregate facts the ops cannot express.
 type BatchOutcome struct {
 	// Results holds one BatchResult per submitted op, in submission order.
 	Results []BatchResult
-	// Leased reports whether the batch acquired a pid lease: true exactly
-	// when at least one op passed validation. A batch of doomed ops never
-	// touches the pool.
+	// Leases is how many pid leases the batch acquired: one per distinct
+	// pool its valid driver ops touch — 1 for a batch confined to
+	// shared-pool kinds, +1 per dedicated-pool kind mixed in, 0 when every
+	// op failed validation or was introspection-only.
+	Leases int
+	// Leased reports whether the batch acquired any pid lease (Leases > 0).
 	Leased bool
 }
 
-// BatchExecute runs the ops in order under a single pid lease, amortizing
-// the lease acquisition (and, for HTTP callers, the request round trip) over
-// the whole slice. It returns one BatchResult per op, positionally.
+// BatchExecute runs the ops in order, amortizing pid-lease acquisition (and,
+// for HTTP callers, the request round trip) over the whole slice: it leases
+// one pid per distinct pool the batch's valid ops touch, for the duration of
+// the batch. It returns one BatchResult per op, positionally.
 //
 // Semantics:
 //
-//   - One lease, one process: every op runs as the same leased pid, so the
-//     batch is one process's operation sequence in the paper's model. Each op
-//     is individually strongly linearizable; the batch as a whole is NOT
+//   - One lease per pool, one process each: every op runs as the leased pid
+//     of its kind's pool, so a batch confined to shared-pool kinds is one
+//     process's operation sequence in the paper's model. Each op is
+//     individually strongly linearizable; the batch as a whole is NOT
 //     atomic — other processes' operations may linearize between ops.
+//   - Pools are acquired in a global deterministic order (the shared pool
+//     first, then dedicated kind pools by kind name), so concurrent batches
+//     over mixed kinds cannot deadlock.
 //   - Partial failure: an op that fails validation (unknown kind or op, bad
 //     operand, object type conflict) gets an Err in its slot and the
 //     remaining ops still run. Doomed ops never register an object.
+//   - Introspection: OpNames and OpStats entries read registry state at
+//     their position in the batch without leasing; a batch of only
+//     introspection ops costs zero leases.
 //   - Cancellation: the context is checked between ops; once it is
 //     cancelled, every remaining op's slot reports the cancellation error
 //     while earlier results stand.
 //
 // The returned error is non-nil only when the batch as a whole could not
 // run: the context was already cancelled on entry, or it was cancelled
-// while queueing for the pid lease. In either case no op has executed. A
+// while queueing for a pid lease. In either case no op has executed. A
 // batch that is dead on entry creates no objects at all; one cancelled
 // while queueing may already have lazily created the objects its valid ops
 // named during validation (the client was still connected then).
@@ -129,155 +155,162 @@ func (r *Registry) BatchExecute(ctx context.Context, ops []BatchOp) (BatchOutcom
 	}
 
 	results := make([]BatchResult, len(ops))
-	steps := make([]compiledOp, len(ops))
+	steps := make([]step, len(ops))
 
-	// Phase 1, before leasing: validate every op, resolve its target object,
-	// and parse its operand, so the leased phase below is a tight dispatch
-	// loop. Resolution is memoized per batch — repeated ops against one hot
-	// object pay the registry lookup once.
-	resolved := make(map[memoKey]any)
+	// Phase 1, before leasing: validate every op through its driver codec,
+	// resolve its target instance, and compile its operand, so the leased
+	// phase below is a tight dispatch loop. Resolution is memoized per
+	// batch — repeated ops against one hot object pay the registry lookup
+	// once.
+	resolved := make(map[memoKey]resolvedEntry)
 	valid := 0
 	for i := range ops {
-		step, err := r.compile(&ops[i], resolved)
+		st, err := r.compile(&ops[i], resolved)
 		if err != nil {
 			results[i].Err = err
 			continue
 		}
-		steps[i] = step
+		steps[i] = st
 		valid++
 	}
 	if valid == 0 {
 		return BatchOutcome{Results: results}, nil
 	}
 
-	// Phase 2: one lease for every valid op.
-	err := r.pool.With(ctx, func(pid int) error {
-		for i := range steps {
-			step := &steps[i]
-			if step.code == opInvalid {
-				continue
+	// Phase 2: one lease per distinct pool among the valid driver ops, in
+	// deterministic order (shared pool first, then kind pools by name) so
+	// concurrent mixed-kind batches cannot deadlock. Introspection steps
+	// need no pool; a batch without driver ops skips leasing entirely.
+	pools := batchPools(steps)
+	pids := make(map[*slmem.PIDPool]int, len(pools))
+	for acquired, pool := range pools {
+		pid, err := pool.Acquire(ctx)
+		if err != nil {
+			// Cancelled while queueing: release what we hold; no op has run.
+			for j := acquired - 1; j >= 0; j-- {
+				pools[j].Release(pids[pools[j]])
 			}
-			if err := ctx.Err(); err != nil {
-				results[i].Err = fmt.Errorf("batch cancelled before op %d: %w", i, err)
-				continue
-			}
-			switch step.code {
-			case opCounterInc:
-				step.counter.Inc(pid)
-			case opCounterRead:
-				results[i].Value = strconv.FormatUint(step.counter.Read(pid), 10)
-			case opMaxWrite:
-				step.maxreg.MaxWrite(pid, step.u64)
-			case opMaxRead:
-				results[i].Value = strconv.FormatUint(step.maxreg.MaxRead(pid), 10)
-			case opSnapUpdate:
-				step.snap.Update(pid, step.str)
-			case opSnapScan:
-				results[i].View = step.snap.Scan(pid)
-			case opObjExecute:
-				v, err := step.object.Execute(pid, step.str)
-				results[i] = BatchResult{Value: v, Err: err}
-			}
+			return BatchOutcome{}, err
+		}
+		pids[pool] = pid
+	}
+	defer func() {
+		for j := len(pools) - 1; j >= 0; j-- {
+			pools[j].Release(pids[pools[j]])
+		}
+	}()
+
+	for i := range steps {
+		st := &steps[i]
+		if st.kind == stepInvalid {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			results[i].Err = fmt.Errorf("batch cancelled before op %d: %w", i, err)
+			continue
+		}
+		switch st.kind {
+		case stepNames:
+			results[i].View = r.Names(st.k)
+		case stepStats:
+			doc, err := json.Marshal(r.Stats())
+			results[i] = BatchResult{Value: string(doc), Err: err}
+		case stepRun:
+			pid := pids[st.pool]
+			res, err := st.run.Run(pid)
+			results[i] = BatchResult{Value: res.Value, View: res.View, Err: err}
 			// Lease-reuse assertion: the pid must survive every step. A step
 			// that released it would let another goroutine lease the same id
 			// and corrupt per-process state on the next iteration.
-			if !r.pool.Holds(pid) {
+			if !st.pool.Holds(pid) {
 				panic(fmt.Sprintf("registry: batch op %d released pid %d mid-batch", i, pid))
 			}
 		}
-		return nil
-	})
-	if err != nil {
-		return BatchOutcome{}, err
 	}
-	return BatchOutcome{Results: results, Leased: true}, nil
+	return BatchOutcome{Results: results, Leases: len(pools), Leased: len(pools) > 0}, nil
 }
 
-// compile validates op and returns its executable form, resolving (and
-// lazily creating) the target object through the memo map. A non-nil error
-// means the op can never succeed; no object is created for it.
-func (r *Registry) compile(op *BatchOp, resolved map[memoKey]any) (compiledOp, error) {
+// batchPools collects the distinct pools of the batch's valid driver steps
+// in global acquisition order: the shared registry pool first, then
+// dedicated kind pools sorted by the kind name that owns them. Step pools
+// are per-kind, so ordering by first-use kind name under a per-kind
+// uniqueness invariant is equivalent to sorting by name.
+func batchPools(steps []step) []*slmem.PIDPool {
+	var shared *slmem.PIDPool
+	type kindPool struct {
+		k    Kind
+		pool *slmem.PIDPool
+	}
+	var dedicated []kindPool
+	seen := make(map[*slmem.PIDPool]bool)
+	for i := range steps {
+		st := &steps[i]
+		if st.kind != stepRun || seen[st.pool] {
+			continue
+		}
+		seen[st.pool] = true
+		if d, ok := kind.Lookup(string(st.k)); ok && d.Options().DedicatedPool {
+			dedicated = append(dedicated, kindPool{st.k, st.pool})
+		} else {
+			shared = st.pool
+		}
+	}
+	sort.Slice(dedicated, func(i, j int) bool { return dedicated[i].k < dedicated[j].k })
+	pools := make([]*slmem.PIDPool, 0, 1+len(dedicated))
+	if shared != nil {
+		pools = append(pools, shared)
+	}
+	for _, kp := range dedicated {
+		pools = append(pools, kp.pool)
+	}
+	return pools
+}
+
+// compile validates op through its kind's driver and returns its executable
+// step, resolving (and lazily creating) the target instance through the
+// memo map. A non-nil error means the op can never succeed; no object is
+// created for it.
+func (r *Registry) compile(op *BatchOp, resolved map[memoKey]resolvedEntry) (step, error) {
+	// Reserved introspection ops resolve against the registry itself.
+	switch op.Op {
+	case OpNames:
+		if _, ok := kind.Lookup(string(op.Kind)); !ok {
+			return step{}, kind.UnknownKind(string(op.Kind))
+		}
+		return step{kind: stepNames, k: op.Kind}, nil
+	case OpStats:
+		return step{kind: stepStats}, nil
+	}
+
+	d, ok := kind.Lookup(string(op.Kind))
+	if !ok {
+		return step{}, kind.UnknownKind(string(op.Kind))
+	}
 	if op.Name == "" {
-		return compiledOp{}, fmt.Errorf("empty object name")
+		return step{}, errors.New("empty object name")
+	}
+	req := kind.Request{Op: string(op.Op), Value: op.Value, Type: op.Type, Invocation: op.Invocation}
+	// Reject unknown ops and malformed operands before the registry lookup;
+	// a doomed op must not register an object.
+	if err := d.Validate(req); err != nil {
+		return step{}, err
 	}
 	key := memoKey{op.Kind, op.Name}
-
-	switch op.Kind {
-	case KindCounter:
-		var code opCode
-		switch op.Op {
-		case OpInc:
-			code = opCounterInc
-		case OpRead:
-			code = opCounterRead
-		default:
-			return compiledOp{}, fmt.Errorf("counter has no operation %q (want inc or read)", op.Op)
-		}
-		c, ok := resolved[key].(*slmem.Counter)
-		if !ok {
-			c = r.Counter(op.Name).Unpooled()
-			resolved[key] = c
-		}
-		return compiledOp{code: code, counter: c}, nil
-
-	case KindMaxRegister:
-		var code opCode
-		var v uint64
-		switch op.Op {
-		case OpWrite:
-			var err error
-			if v, err = strconv.ParseUint(op.Value, 10, 64); err != nil {
-				return compiledOp{}, fmt.Errorf("maxreg write needs a decimal value: %v", err)
-			}
-			code = opMaxWrite
-		case OpRead:
-			code = opMaxRead
-		default:
-			return compiledOp{}, fmt.Errorf("maxreg has no operation %q (want write or read)", op.Op)
-		}
-		m, ok := resolved[key].(*slmem.MaxRegister)
-		if !ok {
-			m = r.MaxRegister(op.Name).Unpooled()
-			resolved[key] = m
-		}
-		return compiledOp{code: code, maxreg: m, u64: v}, nil
-
-	case KindSnapshot:
-		var code opCode
-		switch op.Op {
-		case OpUpdate:
-			code = opSnapUpdate
-		case OpScan:
-			code = opSnapScan
-		default:
-			return compiledOp{}, fmt.Errorf("snapshot has no operation %q (want update or scan)", op.Op)
-		}
-		s, ok := resolved[key].(*slmem.Snapshot[string])
-		if !ok {
-			s = r.Snapshot(op.Name).Unpooled()
-			resolved[key] = s
-		}
-		return compiledOp{code: code, snap: s, str: op.Value}, nil
-
-	case KindObject:
-		if op.Op != OpExecute {
-			return compiledOp{}, fmt.Errorf("object has no operation %q (want execute)", op.Op)
-		}
-		// Reject unknown types and malformed invocations before the registry
-		// lookup; a doomed op must not register an object.
-		if err := ValidateInvocation(op.Type, op.Invocation); err != nil {
-			return compiledOp{}, err
-		}
-		// Objects are deliberately not memoized: Object's own lookup carries
-		// the type-conflict check, which must also fire between two ops of
-		// one batch that name the same object with different types. Its cost
-		// is a shard read-lock map hit — noise next to a universal-
-		// construction Execute.
-		po, err := r.Object(op.Name, op.Type)
+	re, hit := resolved[key]
+	if !hit {
+		inst, pool, err := r.Get(op.Kind, op.Name, req)
 		if err != nil {
-			return compiledOp{}, err
+			return step{}, err
 		}
-		return compiledOp{code: opObjExecute, object: po.Unpooled(), str: op.Invocation}, nil
+		re = resolvedEntry{inst: inst, pool: pool}
+		resolved[key] = re
 	}
-	return compiledOp{}, fmt.Errorf("unknown object kind %q (want counter, maxreg, snapshot, or object)", op.Kind)
+	// Compile carries the per-instance checks (e.g. the universal object's
+	// type-conflict detection), which must also fire between two ops of one
+	// batch that name the same object differently.
+	compiled, err := re.inst.Compile(req)
+	if err != nil {
+		return step{}, err
+	}
+	return step{kind: stepRun, run: compiled, pool: re.pool, k: op.Kind}, nil
 }

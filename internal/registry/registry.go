@@ -1,8 +1,14 @@
 // Package registry provides a named-object registry: a concurrent,
 // sharded map from (kind, name) to lazily created strongly linearizable
-// objects, all leasing process ids from one shared pool. It is the state
-// layer of cmd/slserve — callers name an object ("counter/clicks",
-// "snapshot/board") and get back a pooled handle any goroutine can use.
+// objects, leasing process ids from a shared pool (or a per-kind pool when
+// the kind's driver requests one). It is the state layer of cmd/slserve —
+// callers name an object ("counter/clicks", "snapshot/board") and get back
+// a pooled handle any goroutine can use.
+//
+// Kinds are open: the registry resolves them through the driver API of
+// internal/kind, so a new type (see internal/bag) plugs in by registering a
+// driver — no registry edits. The four paper kinds are registered by
+// internal/kind/builtin, imported here so every registry serves them.
 package registry
 
 import (
@@ -13,12 +19,17 @@ import (
 	"sync/atomic"
 
 	"slmem"
+	"slmem/internal/kind"
+	"slmem/internal/kind/builtin"
 )
 
-// Kind names the object kinds the registry can create.
+// Kind names an object kind. The set of valid kinds is open — any name
+// with a registered driver (kind.Register) resolves.
 type Kind string
 
-// Supported object kinds.
+// Kind names of the built-in drivers (internal/kind/builtin), kept as
+// constants for compile-time checked callers; Kinds() reports the full
+// registered set.
 const (
 	KindCounter     Kind = "counter"
 	KindMaxRegister Kind = "maxreg"
@@ -26,53 +37,26 @@ const (
 	KindObject      Kind = "object"
 )
 
-// Kinds lists the supported kinds in stable order.
+// Kinds lists the registered kinds, sorted.
 func Kinds() []Kind {
-	return []Kind{KindCounter, KindMaxRegister, KindSnapshot, KindObject}
-}
-
-// objectType maps the type names accepted by Object to their simple types.
-// Counter-like and max-register-like workloads also have dedicated kinds
-// with cheaper snapshot-derived implementations; the universal construction
-// carries the rest.
-func objectType(typeName string) (slmem.SimpleType, error) {
-	switch typeName {
-	case "set":
-		return slmem.SetType{}, nil
-	case "accumulator":
-		return slmem.AccumulatorType{}, nil
-	case "register":
-		return slmem.RegisterType{}, nil
-	case "counter":
-		return slmem.CounterType{}, nil
-	case "maxreg":
-		return slmem.MaxRegType{}, nil
-	default:
-		return nil, fmt.Errorf("registry: unknown object type %q (want set, accumulator, register, counter, or maxreg)", typeName)
+	names := kind.Names()
+	kinds := make([]Kind, len(names))
+	for i, n := range names {
+		kinds[i] = Kind(n)
 	}
+	return kinds
 }
 
-// ObjectTypeNames lists the type names accepted by Object.
-func ObjectTypeNames() []string {
-	return []string{"accumulator", "counter", "maxreg", "register", "set"}
-}
+// ObjectTypeNames lists the type names accepted by the universal-object
+// kind.
+func ObjectTypeNames() []string { return builtin.ObjectTypeNames() }
 
 // ValidateInvocation checks that invocation is well-formed for the named
-// object type by dry-running it against the type's sequential specification
-// from its initial state, without creating or touching any object. The
-// provided simple types accept or reject an invocation independent of
-// state, so this predicts exactly what Execute would say. It lets callers
-// reject doomed requests before lazily registering an object for them.
+// universal-object type, without creating or touching any object. It lets
+// callers reject doomed requests before lazily registering an object for
+// them.
 func ValidateInvocation(typeName, invocation string) error {
-	t, err := objectType(typeName)
-	if err != nil {
-		return err
-	}
-	sp := t.Spec()
-	if _, _, err := sp.Apply(sp.Initial(), 0, invocation); err != nil {
-		return err
-	}
-	return nil
+	return builtin.ValidateInvocation(typeName, invocation)
 }
 
 // Options configure a Registry.
@@ -84,23 +68,34 @@ type Options struct {
 	Shards int
 }
 
-// Registry is a concurrent map from (kind, name) to pooled strongly
-// linearizable objects, created lazily on first use. All objects share one
-// PIDPool of Procs ids, so the registry as a whole admits at most Procs
-// concurrent operations — the paper's fixed-n model surfaces as a natural
-// admission limit.
+// Registry is a concurrent map from (kind, name) to driver-created
+// instances, created lazily on first use. Objects share one PIDPool of
+// Procs ids — so the registry as a whole admits at most Procs concurrent
+// operations, the paper's fixed-n model surfacing as a natural admission
+// limit — except for kinds whose driver requests a dedicated pool, which
+// lease from their own pool of Procs ids instead.
 type Registry struct {
 	procs  int
 	pool   *slmem.PIDPool
 	seed   maphash.Seed
 	shards []shard
 
-	created [4]atomic.Int64 // objects created, indexed by kindIndex
+	// created counts instances per kind name (*atomic.Int64 values).
+	created sync.Map
+	// kindPools holds lazily created dedicated pools per kind name
+	// (*slmem.PIDPool values), for drivers whose Options request one.
+	kindPools sync.Map
 }
 
 type shard struct {
 	mu sync.RWMutex
-	m  map[string]any
+	m  map[string]entry
+}
+
+// entry is one registered instance with the pool its operations lease from.
+type entry struct {
+	inst kind.Instance
+	pool *slmem.PIDPool
 }
 
 // New constructs a registry.
@@ -118,7 +113,7 @@ func New(opts Options) *Registry {
 		shards: make([]shard, opts.Shards),
 	}
 	for i := range r.shards {
-		r.shards[i].m = make(map[string]any)
+		r.shards[i].m = make(map[string]entry)
 	}
 	return r
 }
@@ -129,90 +124,113 @@ func (r *Registry) Procs() int { return r.procs }
 // Pool returns the shared pid pool (for metrics and direct leasing).
 func (r *Registry) Pool() *slmem.PIDPool { return r.pool }
 
-// KindIndex maps a kind to a dense index in [0, len(Kinds())), for
-// fixed-size per-kind counters here and in callers.
-func KindIndex(k Kind) int {
-	switch k {
-	case KindCounter:
-		return 0
-	case KindMaxRegister:
-		return 1
-	case KindSnapshot:
-		return 2
-	default:
-		return 3
-	}
-}
-
 func (r *Registry) shard(key string) *shard {
 	h := maphash.String(r.seed, key)
 	return &r.shards[h%uint64(len(r.shards))]
 }
 
-// get returns the object stored under key, lazily creating it with mk. The
+// poolFor returns the pool instances of driver d lease from: the shared
+// pool, or the kind's dedicated pool (created lazily) when the driver's
+// Options request one.
+func (r *Registry) poolFor(d kind.Driver) *slmem.PIDPool {
+	if !d.Options().DedicatedPool {
+		return r.pool
+	}
+	name := d.Kind()
+	if p, ok := r.kindPools.Load(name); ok {
+		return p.(*slmem.PIDPool)
+	}
+	p, _ := r.kindPools.LoadOrStore(name, slmem.NewPIDPool(r.procs))
+	return p.(*slmem.PIDPool)
+}
+
+// Get returns the named instance of kind k and the pid pool its operations
+// lease from, creating the instance through the registered driver on first
+// use (req parameterizes creation, e.g. the universal object's type). The
 // fast path is a shard read-lock; creation double-checks under the write
-// lock so concurrent first uses agree on one object.
-func (r *Registry) get(kind Kind, name string, mk func() any) any {
-	key := string(kind) + "/" + name
+// lock so concurrent first uses agree on one instance. Unknown kinds are
+// kind.NotFound errors; driver creation errors are returned without
+// registering anything.
+func (r *Registry) Get(k Kind, name string, req kind.Request) (kind.Instance, *slmem.PIDPool, error) {
+	d, ok := kind.Lookup(string(k))
+	if !ok {
+		return nil, nil, kind.UnknownKind(string(k))
+	}
+	key := string(k) + "/" + name
 	s := r.shard(key)
 	s.mu.RLock()
-	obj, ok := s.m[key]
+	e, hit := s.m[key]
 	s.mu.RUnlock()
-	if ok {
-		return obj
+	if hit {
+		return e.inst, e.pool, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if obj, ok := s.m[key]; ok {
-		return obj
+	if e, hit := s.m[key]; hit {
+		return e.inst, e.pool, nil
 	}
-	obj = mk()
-	s.m[key] = obj
-	r.created[KindIndex(kind)].Add(1)
-	return obj
+	pool := r.poolFor(d)
+	inst, err := d.New(kind.Env{Name: name, Procs: r.procs, Pool: pool, Req: req})
+	if err != nil {
+		return nil, nil, err
+	}
+	s.m[key] = entry{inst: inst, pool: pool}
+	r.countCreated(string(k))
+	return inst, pool, nil
+}
+
+// countCreated bumps the per-kind created counter.
+func (r *Registry) countCreated(kindName string) {
+	c, ok := r.created.Load(kindName)
+	if !ok {
+		c, _ = r.created.LoadOrStore(kindName, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// mustGet is Get for built-in kinds whose creation cannot fail; it backs
+// the typed accessors.
+func (r *Registry) mustGet(k Kind, name string, req kind.Request) kind.Instance {
+	inst, _, err := r.Get(k, name, req)
+	if err != nil {
+		panic(fmt.Sprintf("registry: builtin kind %q: %v", k, err))
+	}
+	return inst
 }
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *slmem.PooledCounter {
-	return r.get(KindCounter, name, func() any {
-		return slmem.NewCounter(r.procs).Pooled(r.pool)
-	}).(*slmem.PooledCounter)
+	return r.mustGet(KindCounter, name, kind.Request{}).(kind.Unwrapper).Unwrap().(*slmem.PooledCounter)
 }
 
 // MaxRegister returns the named max-register, creating it on first use.
 func (r *Registry) MaxRegister(name string) *slmem.PooledMaxRegister {
-	return r.get(KindMaxRegister, name, func() any {
-		return slmem.NewMaxRegister(r.procs).Pooled(r.pool)
-	}).(*slmem.PooledMaxRegister)
+	return r.mustGet(KindMaxRegister, name, kind.Request{}).(kind.Unwrapper).Unwrap().(*slmem.PooledMaxRegister)
 }
 
 // Snapshot returns the named snapshot of string components, creating it on
 // first use. Its components number Procs: one slot per process id.
 func (r *Registry) Snapshot(name string) *slmem.Pool[string] {
-	return r.get(KindSnapshot, name, func() any {
-		return slmem.NewSnapshot[string](r.procs, "").Pooled(r.pool)
-	}).(*slmem.Pool[string])
+	return r.mustGet(KindSnapshot, name, kind.Request{}).(kind.Unwrapper).Unwrap().(*slmem.Pool[string])
 }
 
 // Object returns the named universal-construction object of the given
 // simple type, creating it on first use. Subsequent calls must name the
 // same type.
 func (r *Registry) Object(name, typeName string) (*slmem.PooledObject, error) {
-	t, err := objectType(typeName)
+	// Validate the type before Get: an unknown type must not register an
+	// object (and must not panic the builtin accessor path).
+	if _, err := builtin.ObjectType(typeName); err != nil {
+		return nil, fmt.Errorf("registry: %v", err)
+	}
+	inst, _, err := r.Get(KindObject, name, kind.Request{Op: "execute", Type: typeName})
 	if err != nil {
 		return nil, err
 	}
-	type typed struct {
-		typeName string
-		obj      *slmem.PooledObject
+	if tn := inst.(kind.TypeNamer).TypeName(); tn != typeName {
+		return nil, fmt.Errorf("registry: object %q already exists with type %q, not %q", name, tn, typeName)
 	}
-	got := r.get(KindObject, name, func() any {
-		return typed{typeName, slmem.NewObject(t, r.procs).Pooled(r.pool)}
-	}).(typed)
-	if got.typeName != typeName {
-		return nil, fmt.Errorf("registry: object %q already exists with type %q, not %q", name, got.typeName, typeName)
-	}
-	return got.obj, nil
+	return inst.(kind.Unwrapper).Unwrap().(*slmem.PooledObject), nil
 }
 
 // Names returns the names registered under kind, sorted.
@@ -233,28 +251,59 @@ func (r *Registry) Names(kind Kind) []string {
 	return names
 }
 
+// KindPoolStats describes one dedicated per-kind pid pool.
+type KindPoolStats struct {
+	// Procs is the pool size.
+	Procs int `json:"procs"`
+	// PIDsInUse is how many of its ids are leased right now.
+	PIDsInUse int `json:"pids_in_use"`
+	// Pool reports how its lease acquisitions were served.
+	Pool slmem.PoolStats `json:"pool"`
+}
+
 // Stats is a point-in-time summary of the registry.
 type Stats struct {
 	// Procs is the shared pool size.
 	Procs int `json:"procs"`
-	// PIDsInUse is how many process ids are leased right now.
+	// PIDsInUse is how many shared-pool process ids are leased right now.
 	PIDsInUse int `json:"pids_in_use"`
-	// Objects counts created objects by kind.
+	// Objects counts created objects by kind, one entry per registered kind.
 	Objects map[string]int64 `json:"objects"`
-	// Pool reports how lease acquisitions were served.
+	// Pool reports how shared-pool lease acquisitions were served.
 	Pool slmem.PoolStats `json:"pool"`
+	// KindPools reports dedicated per-kind pools, keyed by kind, present
+	// only for kinds whose driver requested one and that have been used.
+	KindPools map[string]KindPoolStats `json:"kind_pools,omitempty"`
 }
 
 // Stats returns a snapshot of registry-wide metrics.
 func (r *Registry) Stats() Stats {
-	objects := make(map[string]int64, 4)
-	for _, k := range Kinds() {
-		objects[string(k)] = r.created[KindIndex(k)].Load()
+	names := kind.Names()
+	objects := make(map[string]int64, len(names))
+	for _, n := range names {
+		var count int64
+		if c, ok := r.created.Load(n); ok {
+			count = c.(*atomic.Int64).Load()
+		}
+		objects[n] = count
 	}
-	return Stats{
+	st := Stats{
 		Procs:     r.procs,
 		PIDsInUse: r.pool.InUse(),
 		Objects:   objects,
 		Pool:      r.pool.Stats(),
 	}
+	r.kindPools.Range(func(key, value any) bool {
+		p := value.(*slmem.PIDPool)
+		if st.KindPools == nil {
+			st.KindPools = make(map[string]KindPoolStats)
+		}
+		st.KindPools[key.(string)] = KindPoolStats{
+			Procs:     p.Size(),
+			PIDsInUse: p.InUse(),
+			Pool:      p.Stats(),
+		}
+		return true
+	})
+	return st
 }

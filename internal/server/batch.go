@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"slmem/internal/kind"
 	"slmem/internal/registry"
 )
 
@@ -28,8 +29,10 @@ const (
 type BatchEntry = registry.BatchOp
 
 // BatchStats aggregates a batch reply: how many ops ran, how many failed,
-// and how many pid leases the whole batch cost (1, or 0 when every entry
-// failed validation) — the amortization the endpoint exists for.
+// and how many pid leases the whole batch cost (one per distinct pool its
+// valid entries touch — 1 for shared-pool kinds, +1 per dedicated-pool kind
+// mixed in, 0 when every entry failed validation or was introspection-only)
+// — the amortization the endpoint exists for.
 type BatchStats struct {
 	Ops       int   `json:"ops"`
 	Failed    int   `json:"failed"`
@@ -99,25 +102,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		results[i] = Response{OK: true, Value: res.Value, View: res.View}
 	}
+	// Count ops per kind by run length: batches are usually homogeneous, so
+	// this is one counter update instead of one sync.Map hit per entry.
+	var runKind string
+	var run int64
 	for i := range entries {
-		if idx := registry.KindIndex(entries[i].Kind); knownKind(entries[i].Kind) {
-			s.opsByKind[idx].Add(1)
+		k := string(entries[i].Kind)
+		if _, known := kind.Lookup(k); !known {
+			continue
 		}
+		if k != runKind {
+			if run > 0 {
+				s.countOps(runKind, run)
+			}
+			runKind, run = k, 0
+		}
+		run++
+	}
+	if run > 0 {
+		s.countOps(runKind, run)
 	}
 	s.batches.Add(1)
 	s.batchOps.Add(int64(len(entries)))
 
-	leases := 0
-	if out.Leased {
-		leases = 1
-	}
 	s.replyBatch(w, http.StatusOK, BatchResponse{
 		OK:      failed == 0,
 		Results: results,
 		Stats: BatchStats{
 			Ops:       len(entries),
 			Failed:    failed,
-			Leases:    leases,
+			Leases:    out.Leases,
 			ElapsedUS: time.Since(start).Microseconds(),
 		},
 	})
@@ -172,25 +186,19 @@ func decodeBatchEntries(body []byte, max int) ([]BatchEntry, error) {
 	return entries, nil
 }
 
-// knownKind reports whether k is one of the registry's kinds; unknown kinds
-// must not be folded into the per-kind op counters.
-func knownKind(k registry.Kind) bool {
-	switch k {
-	case registry.KindCounter, registry.KindMaxRegister, registry.KindSnapshot, registry.KindObject:
-		return true
-	}
-	return false
-}
-
 // replyBatch writes a batch reply, counting whole-batch and per-entry
-// failures into the server failure metric.
+// failures into the server failure metric. The body is built by the
+// reflection-free encoder (appendBatchResponse), whose output is
+// byte-identical to encoding/json's.
 func (s *Server) replyBatch(w http.ResponseWriter, status int, resp BatchResponse) {
 	if resp.Error != "" || resp.Stats.Failed > 0 {
 		s.failures.Add(1)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("server: encode batch response: %v", err)
+	buf := appendBatchResponse(make([]byte, 0, 64+32*len(resp.Results)), resp)
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		log.Printf("server: write batch response: %v", err)
 	}
 }

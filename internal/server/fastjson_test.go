@@ -112,6 +112,152 @@ func TestFastDecodeBatchMatchesEncodingJSON(t *testing.T) {
 	}
 }
 
+// TestFastDecodeRequestMatchesEncodingJSON differentially checks the
+// single-operation fast decoder against encoding/json, the same contract
+// the batch decoder carries: every accepted input must produce exactly what
+// encoding/json produces, and every rejected input must be handled (or
+// rejected) identically by the fallback in decodeRequest.
+func TestFastDecodeRequestMatchesEncodingJSON(t *testing.T) {
+	accept := []string{
+		`{}`,
+		`{"value":"7"}`,
+		`{"value":"x y z","type":"set","invocation":"add(3)"}`,
+		`  { "type" : "set" , "invocation" : "contains(7)" }  `,
+		"\t{\n\"value\":\"multi line ws\"\r}\n",
+		`{"value":"dup","value":"wins"}`, // duplicate key: last wins, same as encoding/json
+		`{"value":"héllo €100 日本"}`,      // valid UTF-8 stays on the fast path
+	}
+	for _, in := range accept {
+		got, ok := fastDecodeRequest([]byte(in))
+		if !ok {
+			t.Errorf("fast path rejected canonical input %q", in)
+			continue
+		}
+		var want Request
+		if err := json.Unmarshal([]byte(in), &want); err != nil {
+			t.Fatalf("corpus input %q is not valid JSON: %v", in, err)
+		}
+		if got != want {
+			t.Errorf("input %q:\nfast = %+v\njson = %+v", in, got, want)
+		}
+	}
+
+	// Inputs the fast path must hand to the fallback: valid JSON with
+	// features it skips, or malformed JSON the fallback rejects.
+	fallback := []string{
+		`{"value":"with \"escape\""}`,
+		"{\"value\":\"bad-utf8-\xff\"}",
+		`{"value":42}`,
+		`{"weird":"key"}`,
+		`{"value":{"nested":1}}`,
+		`{"value":"v"`,
+		`["not","an","object"]`,
+		`null`,
+		`{"value" "v"}`,
+		`{"value":"v"} trailing`,
+		`nope`,
+	}
+	for _, in := range fallback {
+		got, ok := fastDecodeRequest([]byte(in))
+		if ok {
+			var want Request
+			err := json.Unmarshal([]byte(in), &want)
+			if err != nil || got != want {
+				t.Errorf("fast path accepted %q with result %+v; encoding/json says err=%v want=%+v", in, got, err, want)
+			}
+		}
+		// Whatever the fast path does, decodeRequest must agree with
+		// encoding/json end to end.
+		dec, decErr := decodeRequest([]byte(in))
+		var want Request
+		jsonErr := json.Unmarshal([]byte(in), &want)
+		if (decErr == nil) != (jsonErr == nil) {
+			t.Errorf("decodeRequest(%q) err=%v, encoding/json err=%v", in, decErr, jsonErr)
+			continue
+		}
+		if decErr == nil && dec != want {
+			t.Errorf("decodeRequest(%q) = %+v, want %+v", in, dec, want)
+		}
+	}
+
+	// An empty body is the zero request (operation bodies are optional).
+	if req, err := decodeRequest(nil); err != nil || req != (Request{}) {
+		t.Errorf("decodeRequest(empty) = %+v, %v", req, err)
+	}
+
+	// Round trip: whatever a client marshals, the fast path must decode.
+	in := Request{Value: "12", Type: "set", Invocation: "add(1)"}
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := fastDecodeRequest(body)
+	if !ok || got != in {
+		t.Fatalf("round trip: ok=%v got=%+v want=%+v", ok, got, in)
+	}
+}
+
+// TestAppendResponseMatchesEncodingJSON differentially checks the
+// reflection-free response encoders: their output must be byte-identical to
+// what json.NewEncoder(w).Encode(resp) wrote before they existed — same
+// field order, omitempty semantics, HTML escaping, and invalid-UTF-8
+// replacement — on a corpus covering every field combination and every
+// escape class.
+func TestAppendResponseMatchesEncodingJSON(t *testing.T) {
+	strs := []string{
+		"", "12", "plain ascii", "x y z",
+		`with "quotes"`, `back\slash`, "tab\tchar", "new\nline", "ctrl\x01",
+		"<script>&amp;</script>", // encoding/json HTML-escapes these
+		"héllo €100 日本",          // multi-byte UTF-8
+		"bad-utf8-\xff",          // invalid: json encodes U+FFFD
+		"trunc-\xe2\x82",         // truncated multi-byte sequence
+		"line-sep\u2028and\u2029",
+	}
+	var responses []Response
+	for _, s := range strs {
+		responses = append(responses,
+			Response{OK: true, Value: s},
+			Response{Error: s},
+			Response{OK: true, View: []string{s, "", s + s}},
+		)
+	}
+	responses = append(responses,
+		Response{},
+		Response{OK: true},
+		Response{OK: true, View: []string{}}, // empty view: omitempty drops it
+		Response{OK: true, Value: "v", View: []string{"a"}, Error: "e"},
+	)
+
+	jsonEncode := func(v any) string {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(v); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, r := range responses {
+		got := string(append(appendResponse(nil, r), '\n'))
+		if want := jsonEncode(r); got != want {
+			t.Errorf("Response %+v:\nfast = %q\njson = %q", r, got, want)
+		}
+	}
+
+	batches := []BatchResponse{
+		{},
+		{Error: "lease: context canceled"},
+		{OK: true, Results: []Response{}, Stats: BatchStats{Ops: 1}}, // empty results: omitempty drops them
+		{OK: true, Results: responses, Stats: BatchStats{Ops: len(responses), Failed: 3, Leases: 2, ElapsedUS: 1234567}},
+		{OK: false, Results: responses[:5], Stats: BatchStats{Ops: 5, Failed: 5}, Error: ""},
+		{OK: false, Stats: BatchStats{ElapsedUS: -1}, Error: "batch exceeds 4 entries"},
+	}
+	for _, b := range batches {
+		got := string(append(appendBatchResponse(nil, b), '\n'))
+		if want := jsonEncode(b); got != want {
+			t.Errorf("BatchResponse %+v:\nfast = %q\njson = %q", b, got, want)
+		}
+	}
+}
+
 // TestDecodeBatchEntriesCap checks that the entry cap bounds work during
 // decoding on both paths: the fast path and the streaming encoding/json
 // fallback must reject an over-limit body without materializing it.

@@ -1,9 +1,12 @@
 // Package server is the HTTP/JSON front end over the named-object registry
 // (internal/registry). cmd/slserve wires it to a listener and signals;
 // examples/service embeds it in-process. Every operation endpoint leases a
-// process id from the registry's fixed pool for the duration of the
-// operation, so any number of HTTP clients can share the paper's fixed-n
-// objects.
+// process id from the target kind's pool for the duration of the operation,
+// so any number of HTTP clients can share the paper's fixed-n objects.
+//
+// Kinds and their ops are open: routes resolve through the driver API of
+// internal/kind, so a newly registered kind (see internal/bag) is served
+// with zero edits here. GET /v1/kinds lists what is registered.
 //
 // API (all operation endpoints are POST with an optional JSON body):
 //
@@ -17,11 +20,13 @@
 //	                                                          -> {"ok":true,"value":"ok"}
 //	POST /v1/batch                   [{"kind":"counter","name":"c","op":"inc"},...]
 //	                                                          -> {"ok":true,"results":[...],"stats":{...}}
+//	GET  /v1/kinds                                            -> registered drivers and their ops
 //	GET  /v1/stats                                            -> server and pool metrics
 //
 // Values travel as decimal strings so every endpoint shares one shape.
-// /v1/batch runs every entry under a single pid lease (see docs/API.md for
-// the full reference and docs/ARCHITECTURE.md for the semantics).
+// /v1/batch runs every entry under a single pid lease per pool (see
+// docs/API.md for the full reference and docs/ARCHITECTURE.md for the
+// semantics).
 package server
 
 import (
@@ -32,10 +37,11 @@ import (
 	"io"
 	"log"
 	"net/http"
-	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"slmem/internal/kind"
 	"slmem/internal/registry"
 )
 
@@ -47,11 +53,13 @@ type Server struct {
 	start       time.Time
 	maxBatchOps int
 
-	requests  atomic.Int64
-	failures  atomic.Int64
-	batches   atomic.Int64
-	batchOps  atomic.Int64
-	opsByKind [4]atomic.Int64
+	requests atomic.Int64
+	failures atomic.Int64
+	batches  atomic.Int64
+	batchOps atomic.Int64
+	// opsByKind counts operations per kind name (*atomic.Int64 values);
+	// open-ended because the kind set is.
+	opsByKind sync.Map
 }
 
 // Option configures a Server beyond its registry options.
@@ -80,6 +88,7 @@ func New(opts registry.Options, extra ...Option) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/{kind}/{name}/{op}", s.handleOp)
+	s.mux.HandleFunc("GET /v1/kinds", s.handleKinds)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -97,7 +106,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // read only by the operations that need them.
 type Request struct {
 	// Value is the operand: the component text for snapshot update, a
-	// decimal for maxreg write.
+	// decimal for maxreg write, the item for bag insert.
 	Value string `json:"value"`
 	// Type names the simple type for object endpoints (set, accumulator,
 	// register, counter, maxreg).
@@ -127,20 +136,35 @@ func errBadRequest(format string, args ...any) error {
 	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
 }
 
-func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
-	kind, name, op := r.PathValue("kind"), r.PathValue("name"), r.PathValue("op")
-
-	var req Request
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err == nil && len(body) > 0 {
-		err = json.Unmarshal(body, &req)
+// classify maps a driver-codec error to its HTTP status: unknown kinds and
+// ops are 404, per-instance conflicts (object type mismatch) 409, and
+// everything else — malformed operands, unknown types, bad invocations —
+// 400.
+func classify(err error) error {
+	switch {
+	case kind.IsNotFound(err):
+		return &httpError{http.StatusNotFound, err.Error()}
+	case kind.IsConflict(err):
+		return &httpError{http.StatusConflict, err.Error()}
 	}
+	return &httpError{http.StatusBadRequest, err.Error()}
+}
+
+func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
+	kindName, name, op := r.PathValue("kind"), r.PathValue("name"), r.PathValue("op")
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.reply(w, http.StatusBadRequest, Response{Error: "bad request body: " + err.Error()})
+		return
+	}
+	req, err := decodeRequest(body)
 	if err != nil {
 		s.reply(w, http.StatusBadRequest, Response{Error: "bad request body: " + err.Error()})
 		return
 	}
 
-	resp, err := s.dispatch(r.Context(), kind, name, op, req)
+	resp, err := s.dispatch(r.Context(), kindName, name, op, req)
 	if err != nil {
 		status := http.StatusInternalServerError
 		var he *httpError
@@ -158,76 +182,70 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, resp)
 }
 
-// dispatch routes one operation to the registry. The request context flows
-// into pid leasing, so a disconnected client stops waiting for a pid. The
-// operation (and any operand) is validated before the registry lookup: the
+// decodeRequest parses a single-operation request body: the reflection-free
+// fast path handles the common flat shape, and anything else falls back to
+// encoding/json for identical accept/reject semantics. An empty body is the
+// zero Request (operation endpoints allow omitting the body).
+func decodeRequest(body []byte) (Request, error) {
+	if len(body) == 0 {
+		return Request{}, nil
+	}
+	if req, ok := fastDecodeRequest(body); ok {
+		return req, nil
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// countOp bumps the per-kind operation counter.
+func (s *Server) countOp(kindName string) { s.countOps(kindName, 1) }
+
+// countOps adds n to the per-kind operation counter.
+func (s *Server) countOps(kindName string, n int64) {
+	c, ok := s.opsByKind.Load(kindName)
+	if !ok {
+		c, _ = s.opsByKind.LoadOrStore(kindName, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(n)
+}
+
+// dispatch routes one operation through the kind's driver codec: look up
+// the driver, validate the request (before the registry lookup — the
 // registry has no eviction, so a request that can never succeed must not
-// create an object.
-func (s *Server) dispatch(ctx context.Context, kind, name, op string, req Request) (Response, error) {
+// create an object), resolve the instance, compile, and run under a pid
+// lease from the instance's pool. The request context flows into pid
+// leasing, so a disconnected client stops waiting for a pid.
+func (s *Server) dispatch(ctx context.Context, kindName, name, op string, req Request) (Response, error) {
 	if name == "" {
 		return Response{}, errBadRequest("empty object name")
 	}
-	k := registry.Kind(kind)
-	switch k {
-	case registry.KindCounter:
-		s.opsByKind[registry.KindIndex(k)].Add(1)
-		switch op {
-		case "inc":
-			return Response{}, s.reg.Counter(name).Inc(ctx)
-		case "read":
-			v, err := s.reg.Counter(name).Read(ctx)
-			return Response{Value: strconv.FormatUint(v, 10)}, err
-		}
-		return Response{}, &httpError{http.StatusNotFound, fmt.Sprintf("counter has no operation %q (want inc or read)", op)}
-
-	case registry.KindMaxRegister:
-		s.opsByKind[registry.KindIndex(k)].Add(1)
-		switch op {
-		case "write":
-			v, err := strconv.ParseUint(req.Value, 10, 64)
-			if err != nil {
-				return Response{}, errBadRequest("maxreg write needs a decimal value: %v", err)
-			}
-			return Response{}, s.reg.MaxRegister(name).MaxWrite(ctx, v)
-		case "read":
-			v, err := s.reg.MaxRegister(name).MaxRead(ctx)
-			return Response{Value: strconv.FormatUint(v, 10)}, err
-		}
-		return Response{}, &httpError{http.StatusNotFound, fmt.Sprintf("maxreg has no operation %q (want write or read)", op)}
-
-	case registry.KindSnapshot:
-		s.opsByKind[registry.KindIndex(k)].Add(1)
-		switch op {
-		case "update":
-			return Response{}, s.reg.Snapshot(name).Update(ctx, req.Value)
-		case "scan":
-			view, err := s.reg.Snapshot(name).Scan(ctx)
-			return Response{View: view}, err
-		}
-		return Response{}, &httpError{http.StatusNotFound, fmt.Sprintf("snapshot has no operation %q (want update or scan)", op)}
-
-	case registry.KindObject:
-		s.opsByKind[registry.KindIndex(k)].Add(1)
-		if op != "execute" {
-			return Response{}, &httpError{http.StatusNotFound, fmt.Sprintf("object has no operation %q (want execute)", op)}
-		}
-		// Reject unknown types and malformed invocations before the registry
-		// lookup; a doomed request must not register an object.
-		if err := registry.ValidateInvocation(req.Type, req.Invocation); err != nil {
-			return Response{}, errBadRequest("%v", err)
-		}
-		// The remaining Object error is a type mismatch with an existing name.
-		o, err := s.reg.Object(name, req.Type)
-		if err != nil {
-			return Response{}, &httpError{http.StatusConflict, err.Error()}
-		}
-		// Execute can now fail only on context cancellation (mapped to 503
-		// by the caller) or a genuine internal error.
-		res, err := o.Execute(ctx, req.Invocation)
-		return Response{Value: res}, err
+	d, ok := kind.Lookup(kindName)
+	if !ok {
+		return Response{}, classify(kind.UnknownKind(kindName))
 	}
-	return Response{}, &httpError{http.StatusNotFound,
-		fmt.Sprintf("unknown object kind %q (want counter, maxreg, snapshot, or object)", kind)}
+	s.countOp(kindName)
+	kreq := kind.Request{Op: op, Value: req.Value, Type: req.Type, Invocation: req.Invocation}
+	if err := d.Validate(kreq); err != nil {
+		return Response{}, classify(err)
+	}
+	inst, pool, err := s.reg.Get(registry.Kind(kindName), name, kreq)
+	if err != nil {
+		return Response{}, classify(err)
+	}
+	compiled, err := inst.Compile(kreq)
+	if err != nil {
+		return Response{}, classify(err)
+	}
+	var out kind.Result
+	err = pool.With(ctx, func(pid int) error {
+		var runErr error
+		out, runErr = compiled.Run(pid)
+		return runErr
+	})
+	return Response{Value: out.Value, View: out.View}, err
 }
 
 func (s *Server) reply(w http.ResponseWriter, status int, resp Response) {
@@ -236,8 +254,27 @@ func (s *Server) reply(w http.ResponseWriter, status int, resp Response) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("server: encode response: %v", err)
+	buf := appendResponse(make([]byte, 0, 96), resp)
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		log.Printf("server: write response: %v", err)
+	}
+}
+
+// KindsResponse is the JSON shape of GET /v1/kinds: one record per
+// registered driver, sorted by kind name.
+type KindsResponse struct {
+	// Kinds lists the registered drivers.
+	Kinds []kind.Info `json:"kinds"`
+}
+
+// handleKinds serves GET /v1/kinds from the driver registry: the kinds this
+// server can serve, their ops, and whether they lease from a dedicated
+// pool.
+func (s *Server) handleKinds(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(KindsResponse{Kinds: kind.Describe()}); err != nil {
+		log.Printf("server: encode kinds: %v", err)
 	}
 }
 
@@ -256,9 +293,14 @@ type Stats struct {
 
 // Stats returns a snapshot of server metrics.
 func (s *Server) Stats() Stats {
-	ops := make(map[string]int64, 4)
-	for _, k := range registry.Kinds() {
-		ops[string(k)] = s.opsByKind[registry.KindIndex(k)].Load()
+	names := kind.Names()
+	ops := make(map[string]int64, len(names))
+	for _, n := range names {
+		var count int64
+		if c, ok := s.opsByKind.Load(n); ok {
+			count = c.(*atomic.Int64).Load()
+		}
+		ops[n] = count
 	}
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
