@@ -273,6 +273,7 @@ func BenchmarkPooledCounter(b *testing.B) {
 	ctx := context.Background()
 	b.Run("inc-direct", func(b *testing.B) {
 		c := NewCounter(n)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			c.Inc(0)
@@ -280,6 +281,7 @@ func BenchmarkPooledCounter(b *testing.B) {
 	})
 	b.Run("inc-pooled", func(b *testing.B) {
 		c := NewPooledCounter(n)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := c.Inc(ctx); err != nil {
@@ -290,6 +292,7 @@ func BenchmarkPooledCounter(b *testing.B) {
 	b.Run("inc-direct-parallel", func(b *testing.B) {
 		c := NewCounter(n)
 		pool := &pidPool{n: n}
+		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			pid := pool.get()
 			for pb.Next() {
@@ -299,6 +302,7 @@ func BenchmarkPooledCounter(b *testing.B) {
 	})
 	b.Run("inc-pooled-parallel", func(b *testing.B) {
 		c := NewPooledCounter(n)
+		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				if err := c.Inc(ctx); err != nil {
@@ -310,6 +314,7 @@ func BenchmarkPooledCounter(b *testing.B) {
 	b.Run("acquire-release", func(b *testing.B) {
 		// The lease round trip alone, for attributing pooled-path cost.
 		p := NewPIDPool(n)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			pid, err := p.Acquire(ctx)
@@ -355,6 +360,44 @@ func BenchmarkUniversalHistoryGrowth(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkUniversalWarm measures the steady-state cost of universal-object
+// execution at a fixed, pre-grown history depth, replay cache on vs off.
+// With the cache, per-op cost is O(delta since this process's previous op);
+// without it, every op replays the whole history (the uncached subrun uses
+// a much shallower history so it finishes — scale its ns/op accordingly).
+func BenchmarkUniversalWarm(b *testing.B) {
+	grow := func(b *testing.B, history int, caching bool) *Object {
+		o := NewObject(CounterType{}, 2)
+		o.SetCaching(caching)
+		for i := 0; i < history; i++ {
+			if _, err := o.Execute(i%2, "inc()"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return o
+	}
+	b.Run("cached/history-10000", func(b *testing.B) {
+		o := grow(b, 10000, true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := o.Execute(0, "inc()"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncached/history-512", func(b *testing.B) {
+		o := grow(b, 512, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := o.Execute(0, "inc()"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- E5 companion: space growth as a benchmark metric ---------------------------

@@ -64,17 +64,25 @@ func TestJSONSummary(t *testing.T) {
 	if err := json.Unmarshal([]byte(line), &sum); err != nil {
 		t.Fatalf("summary is not valid JSON: %v\n%s", err, line)
 	}
-	if sum.Schema != "slbench/v3" {
+	if sum.Schema != "slbench/v4" {
 		t.Errorf("schema = %q", sum.Schema)
 	}
 	if len(sum.Probes) < 8 {
 		t.Fatalf("only %d probes", len(sum.Probes))
 	}
 	names := make(map[string]bool, len(sum.Probes))
+	modes := make(map[string]string, len(sum.Probes))
 	for _, p := range sum.Probes {
 		names[p.Name] = true
+		modes[p.Name] = p.Mode
 		if p.Ops <= 0 || p.NsPerOp <= 0 {
 			t.Errorf("probe %q has empty fields: %+v", p.Name, p)
+		}
+		if p.Mode != "steady" && p.Mode != "growth" {
+			t.Errorf("probe %q has mode %q, want steady or growth", p.Name, p.Mode)
+		}
+		if p.AllocsPerOp < 0 {
+			t.Errorf("probe %q has negative allocs_per_op %v", p.Name, p.AllocsPerOp)
 		}
 		// Paper-layer probes must report their register allocation (the
 		// space metric); service-layer probes document it as zero.
@@ -110,6 +118,26 @@ func TestJSONSummary(t *testing.T) {
 	}
 	if !names["driver/bag-insert"] {
 		t.Error("the bag driver is not registered in slbench (missing driver/bag-insert probe)")
+	}
+	// Schema v4: the growth/steady distinction and the steady-state
+	// counterparts of the two growth probes.
+	for name, wantMode := range map[string]string{
+		"driver/object-execute":      "growth",
+		"driver/bag-insert":          "growth",
+		"driver/object-execute-warm": "steady",
+		"driver/bag-churn":           "steady",
+		"counter/inc-direct":         "steady",
+	} {
+		if !names[name] {
+			t.Errorf("probe %q missing from summary", name)
+		} else if modes[name] != wantMode {
+			t.Errorf("probe %q has mode %q, want %q", name, modes[name], wantMode)
+		}
+	}
+	for _, p := range sum.Probes {
+		if p.Name == "driver/bag-churn" && p.SpaceCells <= 0 {
+			t.Errorf("bag churn probe reports space_cells=%d, want > 0 (the open tail chunk)", p.SpaceCells)
+		}
 	}
 	// The derived ratio is what BENCH_*.json records for the batch pipeline;
 	// it must be present and positive (its magnitude is hardware-dependent,

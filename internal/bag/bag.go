@@ -58,9 +58,22 @@
 //
 // All operations are lock-free: a Remove retries only when another
 // process's insert published or another remover's TAS won, and Size
-// retries only when an insert published. Space grows with the number of
-// inserts (claimed cells are tombstones), like the repo's universal
-// construction with its unbounded history; bounding it is future work.
+// retries only when an insert published.
+//
+// Space is bounded by chunk recycling in the style of Ellen and Sela's
+// Section on memory reclamation: a claimed cell is a tombstone, and once
+// every cell of a published chunk is claimed the owner unlinks the chunk
+// from its log (during Insert, at chunk boundaries), making the tombstones
+// unreachable so the garbage collector reclaims them. Every chunk carries
+// the absolute index of its first cell, and walkers account an index gap
+// between consecutive chunks as recycled — hence claimed — cells; the
+// claimed bits of unlinked chunks were observed set before the unlink and
+// bits are monotone, so the linearization arguments above are unchanged. A
+// reader that raced the unlink and still holds the dead chunk just walks
+// its claimed cells one last time. Live space is therefore proportional to
+// the number of chunks holding at least one unclaimed cell (plus one open
+// tail chunk per process), not to the insert total; Stats reports the
+// reachable-cell counts and the bag_test churn tests pin the bound.
 package bag
 
 import (
@@ -75,27 +88,56 @@ const chunkSize = 64
 // chunk is one block of a process's append-only item log. vals[i] is
 // written by the owner before the cell is published through the snapshot
 // and is immutable afterwards; claimed[i] is the item's test-and-set bit.
+// base is the absolute index of vals[0] in the owner's insert sequence,
+// fixed at allocation.
 type chunk struct {
-	vals    [chunkSize]string
-	claimed [chunkSize]atomic.Uint32
-	next    atomic.Pointer[chunk]
+	base     int
+	vals     [chunkSize]string
+	claimed  [chunkSize]atomic.Uint32
+	nclaimed atomic.Int32 // cells claimed so far; full chunks are recyclable
+	next     atomic.Pointer[chunk]
 }
 
 // tas test-and-sets cell i via atomic swap (fetch-and-store — weaker than
-// compare-and-swap), reporting whether this caller claimed it.
-func (c *chunk) tas(i int) bool { return c.claimed[i].Swap(1) == 0 }
+// compare-and-swap), reporting whether this caller claimed it. The winner
+// bumps nclaimed, so the owner's recycling sweep can recognize a fully
+// claimed chunk in O(1).
+func (c *chunk) tas(i int) bool {
+	if c.claimed[i].Swap(1) == 0 {
+		c.nclaimed.Add(1)
+		return true
+	}
+	return false
+}
 
 // taken reports whether cell i has been claimed.
 func (c *chunk) taken(i int) bool { return c.claimed[i].Load() != 0 }
 
-// ownerLog is process p's append cursor: per-process local state, used
-// only by the current holder of pid p (the lease hand-off provides the
-// happens-before edge, as for all per-pid state in this repo).
+// ownerLog is process p's append cursor. head is read by every walker and
+// advanced by the owner's recycling sweep, so it is atomic; tail, count,
+// and the sweep itself are per-process local state, used only by the
+// current holder of pid p (the lease hand-off provides the happens-before
+// edge, as for all per-pid state in this repo). Padded so adjacent
+// per-process entries do not false-share.
 type ownerLog struct {
-	head  *chunk // fixed at construction; readers start here
-	tail  *chunk // owner's append position
-	count int    // items appended == published count after each Insert
+	head     atomic.Pointer[chunk] // walkers start here
+	tail     *chunk                // owner's append position
+	count    int                   // items appended == published count after each Insert
+	recycled atomic.Int64          // chunks unlinked over the log's lifetime
+	// Sweep backoff: a full sweep costs O(live chunks), so insert-only
+	// workloads (whose sweeps never free anything) double the boundary
+	// interval between sweeps up to maxSweepBackoff, keeping the amortized
+	// sweep cost per insert O(1); any productive sweep resets the interval.
+	sweepWait  int
+	sweepEvery int
+	_          [16]byte // pad to a cache line (6 words above)
 }
+
+// maxSweepBackoff caps the sweep interval (in chunk boundaries): a fully
+// claimed chunk becomes unreachable at most maxSweepBackoff*chunkSize
+// inserts after it becomes claimable, even if every earlier sweep was
+// unproductive.
+const maxSweepBackoff = 64
 
 // Bag is a lock-free strongly linearizable bag of strings for n processes.
 // Every method takes the calling process id (0 <= pid < n); at most one
@@ -116,7 +158,7 @@ func New(n int) *Bag {
 	}
 	for p := range b.logs {
 		c := &chunk{}
-		b.logs[p].head = c
+		b.logs[p].head.Store(c)
 		b.logs[p].tail = c
 	}
 	return b
@@ -126,16 +168,32 @@ func New(n int) *Bag {
 func (b *Bag) N() int { return b.n }
 
 // Insert adds x to the bag, as process pid. Wait-free given the snapshot's
-// wait-free update: one cell write plus one Update.
+// wait-free update: one cell write plus one Update, and at chunk
+// boundaries an amortized-O(1) recycling sweep (see ownerLog's backoff).
 func (b *Bag) Insert(pid int, x string) {
 	l := &b.logs[pid]
 	i := l.count % chunkSize
 	if l.count > 0 && i == 0 {
 		// Link a fresh chunk; the atomic store publishes it to readers
 		// (who will only follow it after the count covering it publishes).
-		next := &chunk{}
+		next := &chunk{base: l.count}
 		l.tail.next.Store(next)
 		l.tail = next
+		// The just-filled chunk is now fully published: recycle what the
+		// removers have fully claimed, on the backoff schedule.
+		l.sweepWait++
+		if l.sweepWait >= l.sweepEvery {
+			l.sweepWait = 0
+			switch freed := compact(l); {
+			case freed > 0:
+				l.sweepEvery = 1
+			case l.sweepEvery < maxSweepBackoff:
+				if l.sweepEvery == 0 {
+					l.sweepEvery = 1
+				}
+				l.sweepEvery *= 2
+			}
+		}
 	}
 	l.tail.vals[i] = x
 	l.count++
@@ -143,45 +201,99 @@ func (b *Bag) Insert(pid int, x string) {
 	b.pub.Update(pid, l.count)
 }
 
-// walker iterates the published prefix of one process's log.
-type walker struct {
-	c *chunk
-	i int // absolute index of the next cell
+// compact unlinks every fully published, fully claimed chunk of l except
+// the tail — the recycling step bounding tombstone growth — and returns
+// how many it unlinked. One O(1) check per live chunk (nclaimed), so a
+// sweep costs O(live chunks); Insert amortizes that with backoff.
+// Owner-only. A walker racing an unlink either already holds the dead
+// chunk (and visits its claimed cells one last time through its untouched
+// next pointer) or skips it via the updated link; both walks see the same
+// claimed bits.
+func compact(l *ownerLog) int {
+	freed := 0
+	var prev *chunk
+	for c := l.head.Load(); c != l.tail; c = c.next.Load() {
+		// Non-tail chunks are complete and published (the owner fills a
+		// chunk and publishes its last cell before linking a successor).
+		if int(c.nclaimed.Load()) < chunkSize {
+			prev = c
+			continue
+		}
+		next := c.next.Load()
+		if prev == nil {
+			l.head.Store(next)
+		} else {
+			prev.next.Store(next)
+		}
+		l.recycled.Add(1)
+		freed++
+	}
+	return freed
 }
 
-// cell returns the chunk and intra-chunk index for the walker's position,
-// advancing chunk boundaries.
-func (w *walker) cell() (*chunk, int) {
-	if w.i > 0 && w.i%chunkSize == 0 {
-		w.c = w.c.next.Load()
+// Compact runs pid's recycling sweep immediately, unlinking its fully
+// claimed published chunks without waiting for the next chunk-boundary
+// Insert. Like every method it runs as process pid and sweeps only that
+// process's log; an idle producer can call it after removers drain its
+// items. Returns how many chunks the sweep unlinked, and resets the
+// insert-path sweep backoff.
+func (b *Bag) Compact(pid int) int {
+	l := &b.logs[pid]
+	l.sweepWait, l.sweepEvery = 0, 1
+	return compact(l)
+}
+
+// walkPublished iterates the still-reachable published cells of process
+// p's log below limit (an absolute index from a publication view), calling
+// visit(c, i) for each. Cells in recycled chunks are skipped; they are
+// claimed by construction, and the per-chunk base indexes let callers
+// account them (skipped = limit - visited when every visited cell counts).
+func (b *Bag) walkPublished(p int, limit int, visit func(c *chunk, i int) bool) (visited int) {
+	for c := b.logs[p].head.Load(); c != nil && c.base < limit; c = c.next.Load() {
+		end := limit - c.base
+		if end > chunkSize {
+			end = chunkSize
+		}
+		for i := 0; i < end; i++ {
+			visited++
+			if !visit(c, i) {
+				return visited
+			}
+		}
 	}
-	return w.c, w.i % chunkSize
+	return visited
 }
 
 // Remove takes some item out of the bag, as process pid. It returns
 // (item, true) on success — linearized at the winning test-and-set — or
 // ("", false) when the bag is observed empty: a clean double collect in
-// which every published item was already claimed. Lock-free: every retry
-// is caused by another process's insert publishing or another remover's
-// test-and-set winning.
+// which every published item was already claimed (cells recycled out of
+// reach were observed claimed before their unlink, and claimed bits are
+// monotone). Lock-free: every retry is caused by another process's insert
+// publishing or another remover's test-and-set winning.
 func (b *Bag) Remove(pid int) (string, bool) {
 	view := b.pub.Scan(pid)
 	for {
 		allClaimed := true
-		for p := 0; p < b.n; p++ {
-			w := walker{c: b.logs[p].head}
-			for ; w.i < view[p]; w.i++ {
-				c, i := w.cell()
+		var won *chunk
+		wonIdx := 0
+		for p := 0; p < b.n && won == nil; p++ {
+			b.walkPublished(p, view[p], func(c *chunk, i int) bool {
 				if c.taken(i) {
-					continue
+					return true
 				}
 				allClaimed = false
 				if c.tas(i) {
 					// Linearization point: this TAS. The item was published
 					// (it is in view) and unclaimed an instant ago.
-					return c.vals[i], true
+					won, wonIdx = c, i
+					return false
 				}
-			}
+				return true
+			})
+		}
+		if won != nil {
+			return won.vals[wonIdx], true
 		}
 		view2 := b.pub.Scan(pid)
 		if allClaimed && equalViews(view, view2) {
@@ -196,21 +308,24 @@ func (b *Bag) Remove(pid int) (string, bool) {
 
 // Size returns the number of items in the bag, as process pid: published
 // inserts minus claimed items, observed in a clean double collect (see the
-// package comment for where it linearizes). Lock-free: it retries only
-// when an insert publishes between the two scans.
+// package comment for where it linearizes). Cells no longer reachable
+// (recycled chunks) count as claimed. Lock-free: it retries only when an
+// insert publishes between the two scans.
 func (b *Bag) Size(pid int) int {
 	view := b.pub.Scan(pid)
 	for {
 		total, claimed := 0, 0
 		for p := 0; p < b.n; p++ {
 			total += view[p]
-			w := walker{c: b.logs[p].head}
-			for ; w.i < view[p]; w.i++ {
-				c, i := w.cell()
+			reachableClaimed := 0
+			visited := b.walkPublished(p, view[p], func(c *chunk, i int) bool {
 				if c.taken(i) {
-					claimed++
+					reachableClaimed++
 				}
-			}
+				return true
+			})
+			// Published cells not visited were recycled: all claimed.
+			claimed += reachableClaimed + (view[p] - visited)
 		}
 		view2 := b.pub.Scan(pid)
 		if equalViews(view, view2) {
@@ -218,6 +333,50 @@ func (b *Bag) Size(pid int) int {
 		}
 		view = view2
 	}
+}
+
+// BagStats describes a bag's space at one instant, as observed by pid:
+// what has been published, what is still reachable, and what recycling has
+// reclaimed. LiveCells-LiveClaimed is the item count; LiveClaimed is the
+// tombstones not yet recycled, bounded by the fragmentation of unclaimed
+// cells across chunks plus the open tail chunks.
+type BagStats struct {
+	// Published is the total number of inserts published, ever.
+	Published int
+	// LiveChunks is the number of reachable chunks holding published cells.
+	LiveChunks int
+	// LiveCells is the number of reachable published cells.
+	LiveCells int
+	// LiveClaimed is how many reachable published cells are claimed
+	// (tombstones awaiting their chunk's recycling).
+	LiveClaimed int
+	// RecycledChunks is how many fully claimed chunks have been unlinked
+	// over the bag's lifetime (RecycledChunks*chunkSize cells reclaimed).
+	RecycledChunks int
+}
+
+// Stats reports the bag's space counters, as process pid. One scan plus a
+// walk of the reachable chunks; counters are monotone except the Live*
+// fields, which can shrink as recycling runs.
+func (b *Bag) Stats(pid int) BagStats {
+	view := b.pub.Scan(pid)
+	var st BagStats
+	for p := 0; p < b.n; p++ {
+		st.Published += view[p]
+		st.RecycledChunks += int(b.logs[p].recycled.Load())
+		lastChunk := (*chunk)(nil)
+		st.LiveCells += b.walkPublished(p, view[p], func(c *chunk, i int) bool {
+			if c != lastChunk {
+				lastChunk = c
+				st.LiveChunks++
+			}
+			if c.taken(i) {
+				st.LiveClaimed++
+			}
+			return true
+		})
+	}
+	return st
 }
 
 // equalViews compares two publication views.

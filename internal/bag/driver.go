@@ -66,6 +66,11 @@ func (driver) Validate(req kind.Request) error {
 // Probe implements kind.Prober.
 func (driver) Probe() kind.Request { return kind.Request{Op: "insert", Value: "probe"} }
 
+// ProbeGrowth implements kind.GrowthProber: an insert-only probe accretes
+// live cells for its whole duration (chunk recycling only reclaims claimed
+// cells, and nothing removes).
+func (driver) ProbeGrowth() bool { return true }
+
 // New implements kind.Driver.
 func (driver) New(env kind.Env) (kind.Instance, error) {
 	inst := &instance{pooled: New(env.Procs).Pooled(env.Pool)}

@@ -53,6 +53,16 @@ func (p *PooledBag) Size(ctx context.Context) (int, error) {
 	return n, err
 }
 
+// Stats leases a pid and reports the bag's space counters.
+func (p *PooledBag) Stats(ctx context.Context) (BagStats, error) {
+	var st BagStats
+	err := p.pids.With(ctx, func(pid int) error {
+		st = p.b.Stats(pid)
+		return nil
+	})
+	return st, err
+}
+
 // Unpooled returns the underlying Bag.
 func (p *PooledBag) Unpooled() *Bag { return p.b }
 

@@ -371,29 +371,47 @@ func E6Universal() (*Table, error) {
 	}
 	t.AddRow("counter prefix-preserving over 8 branching trees", verdict(strongAll))
 
-	// Growth: native per-op latency by history length.
-	var alloc memory.NativeAllocator
-	o := universal.New(&alloc, universal.CounterType{}, 2)
+	// Growth: native per-op latency by history length, with the textbook
+	// O(history) execution (replay cache off — the Section 5.3 claim) next
+	// to the replay-cached execution this repo runs by default.
 	const probe = 25
-	for _, target := range []int{50, 100, 200, 400} {
-		for o.HistorySize(0) < target-probe {
-			if _, err := o.Execute(0, "inc()"); err != nil {
-				return nil, err
-			}
+	for _, caching := range []bool{false, true} {
+		var alloc memory.NativeAllocator
+		o := universal.New(&alloc, universal.CounterType{}, 2)
+		o.SetCaching(caching)
+		label := "uncached"
+		if caching {
+			label = "cached"
 		}
-		start := time.Now()
-		for i := 0; i < probe; i++ {
-			if _, err := o.Execute(i%2, "inc()"); err != nil {
-				return nil, err
+		for _, target := range []int{50, 100, 200, 400} {
+			for o.HistorySize(0) < target-probe {
+				if _, err := o.Execute(0, "inc()"); err != nil {
+					return nil, err
+				}
 			}
+			// One op per pid outside the timer: the filler ran as pid 0
+			// only, so pid 1's first op pays its catch-up delta here, not
+			// inside the probe.
+			for pid := 0; pid < 2; pid++ {
+				if _, err := o.Execute(pid, "inc()"); err != nil {
+					return nil, err
+				}
+			}
+			start := time.Now()
+			for i := 0; i < probe; i++ {
+				if _, err := o.Execute(i%2, "inc()"); err != nil {
+					return nil, err
+				}
+			}
+			elapsed := time.Since(start)
+			t.AddRow(
+				fmt.Sprintf("µs/op at history ≈ %d (%s)", target, label),
+				fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/probe))
 		}
-		elapsed := time.Since(start)
-		t.AddRow(
-			fmt.Sprintf("µs/op at history ≈ %d", target),
-			fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/probe))
 	}
 	t.Notes = append(t.Notes,
-		"per-operation cost grows superlinearly with history length — the Section 5.3/6 unbounded-space caveat",
+		"uncached per-operation cost grows superlinearly with history length — the Section 5.3/6 unbounded-space caveat",
+		"the process-local replay cache flattens per-op cost to O(ops since the process's previous op) without touching the linearization",
 	)
 	return t, nil
 }

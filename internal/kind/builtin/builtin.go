@@ -357,6 +357,13 @@ func (objectDriver) Probe() kind.Request {
 	return kind.Request{Op: "execute", Type: "accumulator", Invocation: "addTo(1)"}
 }
 
+// ProbeGrowth implements kind.GrowthProber: the universal construction's
+// precedence graph keeps every executed operation, so a tight-loop probe
+// accumulates history for its own duration (the replay cache amortizes the
+// per-op cost, but the node count — and an occasional fallback's cost —
+// still grows).
+func (objectDriver) ProbeGrowth() bool { return true }
+
 // New implements kind.Driver: the creating request's Type parameterizes the
 // instance.
 func (objectDriver) New(env kind.Env) (kind.Instance, error) {

@@ -162,6 +162,20 @@ type Prober interface {
 	Probe() Request
 }
 
+// GrowthProber is an optional Prober extension for drivers whose probe
+// request accumulates state the operation's cost depends on — unbounded
+// history, tombstone cells — so a tight-loop measurement reflects growth
+// over the probe duration rather than a steady per-op cost. slbench
+// annotates such probes mode:"growth" in its summary; drivers without the
+// extension are mode:"steady". Keeping the flag on the driver keeps kind
+// names out of the benchmark harness.
+type GrowthProber interface {
+	Prober
+	// ProbeGrowth reports whether the Probe request's per-op cost grows
+	// with state accumulated over a measuring run.
+	ProbeGrowth() bool
+}
+
 // --- Error classification ----------------------------------------------------
 
 // ErrNotFound marks errors for names that do not exist in the op space:

@@ -46,9 +46,17 @@ type Allocator interface {
 
 // --- Native registers --------------------------------------------------------
 
+// Native registers are padded out to a full cache line (64 bytes). Adjacent
+// per-process components (one register per pid, allocated back to back) would
+// otherwise land on the same line, and every write by one process would
+// invalidate the line its neighbours are spinning on — false sharing that the
+// collect loops of the snapshot algorithms are particularly exposed to.
+const cacheLine = 64
+
 type nativeRegister struct {
 	name string
 	v    atomic.Pointer[any]
+	_    [cacheLine - 24]byte // name (16) + v (8) = 24
 }
 
 var _ Register = (*nativeRegister)(nil)
@@ -163,19 +171,53 @@ func (a *CountingAllocator) Registers() int { return a.Inner.Registers() }
 
 // --- Typed wrapper -----------------------------------------------------------
 
-// Reg is a typed view over an untyped Register. The zero value is unusable;
-// construct with NewReg.
+// typedNative is the allocation-lean native register behind Reg's fast path:
+// values are stored as typed pointers, so a write costs one heap cell (the V
+// copy) instead of the two (interface box plus pointer cell) the untyped
+// nativeRegister pays. Padded to a cache line like nativeRegister, so
+// per-process register arrays do not false-share.
+type typedNative[V any] struct {
+	name string
+	v    atomic.Pointer[V]
+	_    [cacheLine - 24]byte // name (16) + v (8) = 24
+}
+
+func (r *typedNative[V]) read() V { return *r.v.Load() }
+
+func (r *typedNative[V]) write(v V) {
+	p := new(V)
+	*p = v
+	r.v.Store(p)
+}
+
+// Reg is a typed view over a register. The zero value is unusable; construct
+// with NewReg.
+//
+// When the allocator is a plain *NativeAllocator, the register is backed by
+// a typed atomic pointer directly (no interface boxing per access); any other
+// allocator — counting decorators, the simulated scheduler — goes through the
+// untyped Register interface it hands out.
 type Reg[V any] struct {
-	r Register
+	fast *typedNative[V] // non-nil iff allocated from a bare NativeAllocator
+	r    Register
 }
 
 // NewReg allocates a register holding values of type V, initialized to init.
 func NewReg[V any](a Allocator, name string, init V) Reg[V] {
+	if na, ok := a.(*NativeAllocator); ok {
+		na.count.Add(1)
+		fast := &typedNative[V]{name: name}
+		fast.v.Store(&init)
+		return Reg[V]{fast: fast}
+	}
 	return Reg[V]{r: a.NewRegister(name, init)}
 }
 
 // Read returns the current value as a step of process pid.
 func (t Reg[V]) Read(pid int) V {
+	if t.fast != nil {
+		return t.fast.read()
+	}
 	v, ok := t.r.Read(pid).(V)
 	if !ok {
 		// Registers are allocated typed and only written through this
@@ -186,7 +228,18 @@ func (t Reg[V]) Read(pid int) V {
 }
 
 // Write stores v as a step of process pid.
-func (t Reg[V]) Write(pid int, v V) { t.r.Write(pid, v) }
+func (t Reg[V]) Write(pid int, v V) {
+	if t.fast != nil {
+		t.fast.write(v)
+		return
+	}
+	t.r.Write(pid, v)
+}
 
 // Name returns the underlying register name.
-func (t Reg[V]) Name() string { return t.r.Name() }
+func (t Reg[V]) Name() string {
+	if t.fast != nil {
+		return t.fast.name
+	}
+	return t.r.Name()
+}

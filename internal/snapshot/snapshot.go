@@ -24,6 +24,7 @@ package snapshot
 
 import (
 	"fmt"
+	"sync"
 
 	"slmem/internal/memory"
 )
@@ -48,7 +49,8 @@ type dcell[V any] struct {
 type DoubleCollect[V any] struct {
 	n    int
 	regs []memory.Reg[dcell[V]]
-	seq  []uint64 // local per-writer sequence numbers
+	seq  []uint64  // local per-writer sequence numbers
+	bufs sync.Pool // *[]dcell[V] collect scratch, recycled across Scans
 }
 
 var _ Snapshot[int] = (*DoubleCollect[int])(nil)
@@ -76,12 +78,23 @@ func (s *DoubleCollect[V]) Update(pid int, x V) {
 	s.regs[pid].Write(pid, dcell[V]{val: x, seq: s.seq[pid]})
 }
 
-func (s *DoubleCollect[V]) collect(pid int) []dcell[V] {
-	out := make([]dcell[V], s.n)
+// getBuf returns a collect scratch buffer from the pool. Scratch buffers
+// never escape a Scan: values() copies the result out before putBuf, so
+// recycling them cuts the two collect allocations off every Scan.
+func (s *DoubleCollect[V]) getBuf() *[]dcell[V] {
+	if p, ok := s.bufs.Get().(*[]dcell[V]); ok {
+		return p
+	}
+	buf := make([]dcell[V], s.n)
+	return &buf
+}
+
+func (s *DoubleCollect[V]) putBuf(p *[]dcell[V]) { s.bufs.Put(p) }
+
+func (s *DoubleCollect[V]) collectInto(pid int, out []dcell[V]) {
 	for i := range s.regs {
 		out[i] = s.regs[i].Read(pid)
 	}
-	return out
 }
 
 func seqsEqual[V any](a, b []dcell[V]) bool {
@@ -107,13 +120,18 @@ func values[V any](cells []dcell[V]) []V {
 // (a "clean double collect"). Lock-free: a failed pair of collects means a
 // concurrent Update completed.
 func (s *DoubleCollect[V]) Scan(pid int) []V {
-	c1 := s.collect(pid)
+	b1, b2 := s.getBuf(), s.getBuf()
+	c1, c2 := *b1, *b2
+	s.collectInto(pid, c1)
 	for {
-		c2 := s.collect(pid)
+		s.collectInto(pid, c2)
 		if seqsEqual(c1, c2) {
-			return values(c2)
+			out := values(c2)
+			s.putBuf(b1)
+			s.putBuf(b2)
+			return out
 		}
-		c1 = c2
+		c1, c2 = c2, c1
 	}
 }
 
@@ -121,17 +139,22 @@ func (s *DoubleCollect[V]) Scan(pid int) []V {
 // component sequence numbers, which increases with every Update (the
 // versioned-object interface of paper Section 4.1).
 func (s *DoubleCollect[V]) ScanVersioned(pid int) ([]V, uint64) {
-	c1 := s.collect(pid)
+	b1, b2 := s.getBuf(), s.getBuf()
+	c1, c2 := *b1, *b2
+	s.collectInto(pid, c1)
 	for {
-		c2 := s.collect(pid)
+		s.collectInto(pid, c2)
 		if seqsEqual(c1, c2) {
 			var version uint64
 			for _, c := range c2 {
 				version += c.seq
 			}
-			return values(c2), version
+			out := values(c2)
+			s.putBuf(b1)
+			s.putBuf(b2)
+			return out, version
 		}
-		c1 = c2
+		c1, c2 = c2, c1
 	}
 }
 
@@ -148,6 +171,14 @@ type Afek[V any] struct {
 	n    int
 	regs []memory.Reg[acell[V]]
 	seq  []uint64
+	bufs sync.Pool // *afekScratch[V], recycled across Scans
+}
+
+// afekScratch is one Scan's worth of Afek scratch: two collect buffers and
+// the moved flags. None of it escapes a Scan (borrowed views are copied out).
+type afekScratch[V any] struct {
+	c1, c2 []acell[V]
+	moved  []bool
 }
 
 var _ Snapshot[int] = (*Afek[int])(nil)
@@ -177,40 +208,56 @@ func (s *Afek[V]) Update(pid int, x V) {
 	s.regs[pid].Write(pid, acell[V]{val: x, seq: s.seq[pid], view: view})
 }
 
-func (s *Afek[V]) collect(pid int) []acell[V] {
-	out := make([]acell[V], s.n)
+func (s *Afek[V]) getScratch() *afekScratch[V] {
+	if sc, ok := s.bufs.Get().(*afekScratch[V]); ok {
+		for q := range sc.moved {
+			sc.moved[q] = false
+		}
+		return sc
+	}
+	return &afekScratch[V]{
+		c1:    make([]acell[V], s.n),
+		c2:    make([]acell[V], s.n),
+		moved: make([]bool, s.n),
+	}
+}
+
+func (s *Afek[V]) collectInto(pid int, out []acell[V]) {
 	for i := range s.regs {
 		out[i] = s.regs[i].Read(pid)
 	}
-	return out
 }
 
 // Scan implements Snapshot. Wait-free: after at most n+1 collect pairs some
 // process has been seen to move twice, and its embedded view (which is a
 // valid snapshot taken within our interval) is borrowed.
 func (s *Afek[V]) Scan(pid int) []V {
-	moved := make([]bool, s.n)
-	c1 := s.collect(pid)
+	sc := s.getScratch()
+	c1, c2 := sc.c1, sc.c2
+	s.collectInto(pid, c1)
 	for {
-		c2 := s.collect(pid)
+		s.collectInto(pid, c2)
 		clean := true
 		for q := 0; q < s.n; q++ {
 			if c1[q].seq != c2[q].seq {
 				clean = false
-				if moved[q] {
+				if sc.moved[q] {
 					// q performed two Updates during this Scan; its second
 					// embedded view was taken entirely inside our interval.
 					out := make([]V, len(c2[q].view))
 					copy(out, c2[q].view)
+					s.bufs.Put(sc)
 					return out
 				}
-				moved[q] = true
+				sc.moved[q] = true
 			}
 		}
 		if clean {
-			return avalues(c2)
+			out := avalues(c2)
+			s.bufs.Put(sc)
+			return out
 		}
-		c1 = c2
+		c1, c2 = c2, c1
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package slmem
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions skip under it (the detector disables
+// sync.Pool reuse and changes escape behavior).
+const raceEnabled = true

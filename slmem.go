@@ -226,10 +226,25 @@ func NewObject(t SimpleType, n int) *Object {
 }
 
 // Execute performs the invocation (e.g. "add(x)") as process pid and
-// returns its response.
+// returns its response. A process-local replay cache amortizes the cost to
+// the number of operations since this process's previous one, instead of
+// the whole history length.
 func (o *Object) Execute(pid int, invocation string) (string, error) {
 	return o.inner.Execute(pid, invocation)
 }
+
+// SetCaching enables or disables the replay cache (enabled by default); see
+// the internal/universal package docs. Disabling forces every Execute
+// through the full history replay — useful only for measurements and
+// differential testing. Must not be called concurrently with Execute.
+func (o *Object) SetCaching(on bool) { o.inner.SetCaching(on) }
+
+// ObjectCacheStats counts replay-cache hits (delta replays) and misses
+// (full-history fallbacks) across an Object's processes.
+type ObjectCacheStats = universal.CacheStats
+
+// CacheStats returns the replay-cache hit/miss counters.
+func (o *Object) CacheStats() ObjectCacheStats { return o.inner.CacheStats() }
 
 // ValidateSimple checks that the type's invocations pairwise commute or
 // overwrite (Definition 33) over the given invocation and pid samples.
