@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# benchmarks/sweep.sh — sweep {distribution x arrival rate x batch size}
+# through cmd/slload and emit one consolidated TSV on stdout (one row per
+# run, header first). Summary JSON lines pass through to stderr so a sweep
+# can also be archived raw.
+#
+# Knobs (environment variables):
+#
+#   TARGET=self|inproc|http://host:port   what to drive        (default self)
+#   DISTS="uniform hotkey zipfian"        distributions        (default all)
+#   RATES="2000 10000"                    open-loop ops/s      (default "2000 10000")
+#   BATCHES="1 16 64"                     ops per call         (default "1 16 64")
+#   MODE=open|closed|both                 loop mode(s)         (default both;
+#                                         closed-loop rows ignore RATES)
+#   DURATION=5s WARMUP=1s WORKERS=16 KEYS=1024 SEED=1
+#
+# Examples:
+#
+#   benchmarks/sweep.sh > sweep.tsv                  # full default sweep
+#   DURATION=1s RATES=2000 BATCHES="1 16" MODE=closed \
+#     benchmarks/sweep.sh > smoke.tsv                # CI-sized smoke sweep
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TARGET="${TARGET:-self}"
+DISTS="${DISTS:-uniform hotkey zipfian}"
+RATES="${RATES:-2000 10000}"
+BATCHES="${BATCHES:-1 16 64}"
+MODE="${MODE:-both}"
+DURATION="${DURATION:-5s}"
+WARMUP="${WARMUP:-1s}"
+WORKERS="${WORKERS:-16}"
+KEYS="${KEYS:-1024}"
+SEED="${SEED:-1}"
+
+printf 'mode\tdistribution\trate_ops_s\tbatch\tworkers\tops\tthroughput_ops_s\tp50_ns\tp95_ns\tp99_ns\tmax_ns\terror_count\toverflows\n'
+
+# row MODE DIST RATE BATCH: run slload once and print one TSV row.
+row() {
+  summary="$(go run ./cmd/slload -quiet -target "$TARGET" -mode "$1" -dist "$2" \
+      -rate "$3" -batch "$4" -workers "$WORKERS" -keys "$KEYS" -seed "$SEED" \
+      -warmup "$WARMUP" -duration "$DURATION")"
+  printf '%s\n' "$summary" >&2
+  printf '%s\n' "$summary" | python3 -c '
+import json, sys
+s = json.loads(sys.stdin.readline())
+print("\t".join(str(s[k]) for k in (
+    "mode", "distribution", "rate_ops_s", "batch", "workers", "ops",
+    "throughput_ops_s", "p50_ns", "p95_ns", "p99_ns", "max_ns",
+    "error_count")) + "\t" + str(s.get("overflows", 0)))
+'
+}
+
+for dist in $DISTS; do
+  for batch in $BATCHES; do
+    if [ "$MODE" = "closed" ] || [ "$MODE" = "both" ]; then
+      row closed "$dist" 0 "$batch"
+    fi
+    if [ "$MODE" = "open" ] || [ "$MODE" = "both" ]; then
+      for rate in $RATES; do
+        row open "$dist" "$rate" "$batch"
+      done
+    fi
+  done
+done

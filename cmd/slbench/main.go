@@ -34,10 +34,12 @@ func run(args []string) error {
 		markdown  = fs.Bool("md", false, "emit markdown instead of aligned text")
 		jsonOut   = fs.Bool("json", false, "emit a one-line machine-readable perf summary instead of experiment tables")
 		probeTime = fs.Duration("probetime", 50*time.Millisecond, "per-probe measuring time for -json")
+		seed      = fs.Int64("seed", 0, "offset every experiment schedule seed; 0 reproduces the historical schedules byte-for-byte")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	harness.SetSeedBase(*seed)
 	if *jsonOut {
 		return emitJSONSummary(os.Stdout, *probeTime)
 	}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slmem/internal/load"
+)
+
+// runSlload runs the CLI with args and returns the parsed Summary line.
+func runSlload(t *testing.T, args ...string) load.Summary {
+	t.Helper()
+	var stdout bytes.Buffer
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("slload %v: %v\nstdout: %s", args, err, stdout.String())
+	}
+	var sum load.Summary
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("summary line not JSON: %v\n%s", err, stdout.String())
+	}
+	return sum
+}
+
+// short flags shared by the smoke runs below.
+var quick = []string{"-warmup", "20ms", "-duration", "150ms", "-workers", "4", "-keys", "32", "-seed", "1", "-quiet"}
+
+func TestInprocClosedLoop(t *testing.T) {
+	sum := runSlload(t, append([]string{"-target", "inproc", "-dist", "uniform", "-mode", "closed"}, quick...)...)
+	if sum.Schema != load.SummarySchema {
+		t.Errorf("schema = %q, want %q", sum.Schema, load.SummarySchema)
+	}
+	if sum.Mode != "closed" || sum.Distribution != "uniform" || sum.Kind != "counter" || sum.Op != "inc" {
+		t.Errorf("summary misdescribes the run: %+v", sum)
+	}
+	if sum.Ops == 0 || sum.ThroughputOpsS <= 0 {
+		t.Errorf("no throughput measured: %+v", sum)
+	}
+	if sum.ErrorCount != 0 {
+		t.Errorf("error_count = %d, want 0", sum.ErrorCount)
+	}
+	if sum.P99Ns < sum.P50Ns || sum.P50Ns <= 0 {
+		t.Errorf("quantiles disordered: p50=%d p99=%d", sum.P50Ns, sum.P99Ns)
+	}
+}
+
+func TestInprocOpenLoopBatch(t *testing.T) {
+	sum := runSlload(t, append([]string{
+		"-target", "inproc", "-dist", "hotkey", "-mode", "open",
+		"-rate", "4000", "-poisson", "-batch", "8",
+	}, quick...)...)
+	if sum.Mode != "open" || sum.Distribution != "hotkey" || sum.Batch != 8 {
+		t.Errorf("summary misdescribes the run: %+v", sum)
+	}
+	if sum.Ops != sum.Calls*8 {
+		t.Errorf("ops = %d, want calls*8 = %d", sum.Ops, sum.Calls*8)
+	}
+}
+
+func TestSelfServeOverTCP(t *testing.T) {
+	sum := runSlload(t, append([]string{"-target", "self", "-dist", "zipfian", "-mode", "closed"}, quick...)...)
+	if sum.ErrorCount != 0 {
+		t.Errorf("error_count = %d over loopback TCP, want 0", sum.ErrorCount)
+	}
+	// The server-side /v1/stats delta must cover every op the client
+	// delivered — the undercount assertion slload exists to make.
+	if sum.ServerOpsDelta < sum.Ops {
+		t.Errorf("server_ops_delta = %d < measured ops %d", sum.ServerOpsDelta, sum.Ops)
+	}
+}
+
+func TestSelfServeBatchPipeline(t *testing.T) {
+	sum := runSlload(t, append([]string{"-target", "self", "-mode", "closed", "-batch", "16"}, quick...)...)
+	if sum.ErrorCount != 0 {
+		t.Errorf("error_count = %d, want 0", sum.ErrorCount)
+	}
+	if sum.ServerOpsDelta < sum.Ops {
+		t.Errorf("server_ops_delta = %d < measured ops %d", sum.ServerOpsDelta, sum.Ops)
+	}
+}
+
+func TestPprofCapture(t *testing.T) {
+	dir := t.TempDir()
+	runSlload(t, append([]string{"-target", "inproc", "-pprof", dir}, quick...)...)
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestSeedReproducesKeyStreams(t *testing.T) {
+	// Same seed, same config: the deterministic fields of the summary must
+	// match exactly (timing-derived fields of course vary).
+	a := runSlload(t, append([]string{"-target", "inproc", "-dist", "zipfian"}, quick...)...)
+	b := runSlload(t, append([]string{"-target", "inproc", "-dist", "zipfian"}, quick...)...)
+	if a.Seed != b.Seed || a.Distribution != b.Distribution || a.Keys != b.Keys {
+		t.Errorf("deterministic fields diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRejectsInvalidWorkload(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "nope"},
+		{"-kind", "counter", "-op", "nope"},
+		{"-target", "gopher://x"},
+		{"-mode", "open"}, // no rate
+		{"-dist", "pareto"},
+	}
+	for _, args := range cases {
+		if err := run(append(args, quick...), io.Discard, io.Discard); err == nil {
+			t.Errorf("slload %v: invalid workload accepted", args)
+		}
+	}
+}

@@ -53,7 +53,7 @@ func E1Observation4() (*Table, error) {
 		sys := Observation4System(impl)
 		allStrong, allLin := true, true
 		for seed := int64(0); seed < trees; seed++ {
-			bt, err := RandomBranchTree(sys, seed, 8, 3)
+			bt, err := RandomBranchTree(sys, scheduleSeed(seed), 8, 3)
 			if err != nil {
 				return nil, err
 			}
@@ -170,7 +170,7 @@ func E2ABASteps() (*Table, error) {
 			sys := ABASystem(ABAStrong, c.n, c.readers, c.reads, c.writes)
 			var adv sched.Adversary
 			if advName == "random" {
-				adv = sched.NewSeeded(int64(c.n*1000 + c.writes))
+				adv = sched.NewSeeded(scheduleSeed(int64(c.n*1000 + c.writes)))
 			} else {
 				adv = &sched.Storm{IsVictim: func(pid int) bool { return pid < c.readers }, Period: 5}
 			}
@@ -217,7 +217,7 @@ func E3SnapshotSteps() (*Table, error) {
 			sys := SnapshotSystem(c.n, c.scanners, c.scans, c.updates, &stats)
 			var adv sched.Adversary
 			if advName == "random" {
-				adv = sched.NewSeeded(int64(c.n*100 + c.updates))
+				adv = sched.NewSeeded(scheduleSeed(int64(c.n*100 + c.updates)))
 			} else {
 				adv = &sched.Storm{IsVictim: func(pid int) bool { return pid < c.scanners }, Period: 6}
 			}
@@ -345,7 +345,7 @@ func E6Universal() (*Table, error) {
 	sys := universalCounterSystem()
 	okAll := true
 	for seed := int64(0); seed < 15; seed++ {
-		res := sched.Run(sys, sched.NewSeeded(seed), sched.Options{})
+		res := sched.Run(sys, sched.NewSeeded(scheduleSeed(seed)), sched.Options{})
 		if !res.Completed() {
 			return nil, fmt.Errorf("E6 run incomplete: %v", res.Err)
 		}
@@ -359,7 +359,7 @@ func E6Universal() (*Table, error) {
 
 	strongAll := true
 	for seed := int64(0); seed < 8; seed++ {
-		bt, err := RandomBranchTree(sys, seed, 12, 3)
+		bt, err := RandomBranchTree(sys, scheduleSeed(seed), 12, 3)
 		if err != nil {
 			return nil, err
 		}

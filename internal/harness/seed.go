@@ -1,0 +1,16 @@
+package harness
+
+// seedBase offsets every randomized schedule seed the experiments use, so a
+// single flag (slbench -seed) re-rolls all of their random adversaries and
+// branch trees at once while the default 0 keeps runs byte-for-byte
+// identical to historical tables. Not synchronized: set it once before
+// running experiments.
+var seedBase int64
+
+// SetSeedBase sets the base offset applied to every experiment schedule
+// seed. cmd/slbench threads its -seed flag here; base 0 (the default)
+// reproduces the historical schedules exactly.
+func SetSeedBase(base int64) { seedBase = base }
+
+// scheduleSeed derives the effective seed for one randomized schedule.
+func scheduleSeed(local int64) int64 { return seedBase + local }

@@ -1,0 +1,116 @@
+package load
+
+import (
+	"testing"
+)
+
+// drawN draws n keys from a fresh generator of spec with the given seed.
+func drawN(t *testing.T, spec KeySpec, seed int64, n int) []int {
+	t.Helper()
+	g, err := spec.New(seed)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func TestKeyGenDeterministic(t *testing.T) {
+	specs := []KeySpec{
+		{Dist: DistUniform, Keys: 100},
+		{Dist: DistHotKey, Keys: 100, HotFrac: 0.8, HotKeys: 3},
+		{Dist: DistZipf, Keys: 100, ZipfS: 1.2},
+	}
+	for _, spec := range specs {
+		a := drawN(t, spec, 42, 5000)
+		b := drawN(t, spec, 42, 5000)
+		c := drawN(t, spec, 43, 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at draw %d: %d vs %d", spec.Dist, i, a[i], b[i])
+			}
+		}
+		diff := 0
+		for i := range a {
+			if a[i] != c[i] {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Errorf("%s: different seeds produced identical streams", spec.Dist)
+		}
+	}
+}
+
+func TestKeyGenBounds(t *testing.T) {
+	for _, spec := range []KeySpec{
+		{Dist: DistUniform, Keys: 7},
+		{Dist: DistHotKey, Keys: 7, HotFrac: 0.5, HotKeys: 2},
+		{Dist: DistZipf, Keys: 7, ZipfS: 1.5},
+	} {
+		for _, k := range drawN(t, spec, 1, 10000) {
+			if k < 0 || k >= spec.Keys {
+				t.Fatalf("%s: key %d outside [0,%d)", spec.Dist, k, spec.Keys)
+			}
+		}
+	}
+}
+
+func TestHotKeyFraction(t *testing.T) {
+	const n = 100000
+	spec := KeySpec{Dist: DistHotKey, Keys: 1000, HotFrac: 0.9, HotKeys: 10}
+	hot := 0
+	for _, k := range drawN(t, spec, 7, n) {
+		if k < spec.HotKeys {
+			hot++
+		}
+	}
+	got := float64(hot) / n
+	// 0.9 of draws land in the hot set directly; the uniform remainder adds
+	// ~0.1*10/990 more. 2% tolerance over 100k draws is > 10 sigma.
+	if got < 0.88 || got > 0.92 {
+		t.Errorf("hot fraction = %.3f, want ~0.90", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n = 100000
+	spec := KeySpec{Dist: DistZipf, Keys: 1000, ZipfS: 1.2}
+	counts := make([]int, spec.Keys)
+	for _, k := range drawN(t, spec, 11, n) {
+		counts[k]++
+	}
+	// Rank 0 must dominate: strictly hotter than rank 10, and the top-10
+	// ranks must absorb a clear majority of the traffic.
+	if counts[0] <= counts[10] {
+		t.Errorf("zipf not skewed: count[0]=%d <= count[10]=%d", counts[0], counts[10])
+	}
+	top := 0
+	for _, c := range counts[:10] {
+		top += c
+	}
+	if frac := float64(top) / n; frac < 0.5 {
+		t.Errorf("top-10 zipf ranks got %.3f of traffic, want > 0.5", frac)
+	}
+}
+
+func TestKeySpecValidate(t *testing.T) {
+	bad := []KeySpec{
+		{Dist: DistUniform, Keys: 0},
+		{Dist: DistHotKey, Keys: 10, HotFrac: 1.5},
+		{Dist: DistHotKey, Keys: 10, HotKeys: 11},
+		{Dist: DistZipf, Keys: 10, ZipfS: 1.0},
+		{Dist: "pareto", Keys: 10},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid spec", spec)
+		}
+	}
+	if err := (KeySpec{Dist: DistHotKey, Keys: 10}).Validate(); err != nil {
+		t.Errorf("defaulted hotkey spec rejected: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package load
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Clock abstracts time for the pacer and run controller so tests can drive a
+// simulated clock: Pace's offered rate is verified against a fake clock whose
+// Sleep advances virtual time instantly.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d (d <= 0 returns immediately).
+	Sleep(d time.Duration)
+}
+
+// realClock is the wall-clock Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RealClock returns the wall-clock Clock used outside tests.
+func RealClock() Clock { return realClock{} }
+
+// Pacer generates inter-arrival gaps for an open-loop schedule: fixed
+// (every gap exactly 1/rate) or Poisson (exponential gaps with mean 1/rate,
+// modeling memoryless arrivals — the bursty shape real traffic has, which
+// fixed pacing flatters). Deterministic in its seed; not safe for concurrent
+// use (one dispatcher owns it).
+type Pacer struct {
+	fixed time.Duration
+	rate  float64
+	rng   *rand.Rand // nil for fixed pacing
+}
+
+// NewPacer returns a pacer offering rate arrivals per second. poisson
+// selects exponential gaps; seed makes the Poisson schedule reproducible.
+// rate must be positive.
+func NewPacer(rate float64, poisson bool, seed int64) *Pacer {
+	p := &Pacer{rate: rate, fixed: time.Duration(float64(time.Second) / rate)}
+	if poisson {
+		p.rng = rand.New(rand.NewSource(seed))
+	}
+	return p
+}
+
+// Gap returns the next inter-arrival interval.
+func (p *Pacer) Gap() time.Duration {
+	if p.rng == nil {
+		return p.fixed
+	}
+	return time.Duration(p.rng.ExpFloat64() / p.rate * float64(time.Second))
+}
+
+// Pace runs an open-loop arrival schedule on clk for duration d: it draws
+// gaps from p, sleeps until each scheduled arrival, and calls emit with the
+// *scheduled* (not actual) arrival time — latency measured from that instant
+// includes any queueing the consumer imposes, which is what makes open-loop
+// numbers immune to coordinated omission. Arrivals scheduled past the window
+// end are not emitted. Returns the number of arrivals emitted; stops early
+// when ctx is done or emit returns false.
+func Pace(ctx context.Context, clk Clock, p *Pacer, d time.Duration, emit func(scheduled time.Time) bool) int64 {
+	start := clk.Now()
+	end := start.Add(d)
+	next := start
+	var n int64
+	for {
+		next = next.Add(p.Gap())
+		if next.After(end) {
+			return n
+		}
+		select {
+		case <-ctx.Done():
+			return n
+		default:
+		}
+		if wait := next.Sub(clk.Now()); wait > 0 {
+			clk.Sleep(wait)
+		}
+		if !emit(next) {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,99 @@
+package load
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a single-goroutine simulated clock: Sleep advances virtual
+// time instantly, so a simulated multi-second pacing run completes in
+// microseconds of real time.
+type fakeClock struct {
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+func (c *fakeClock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+}
+
+// offeredRate runs Pace for a simulated window and returns arrivals/second.
+func offeredRate(t *testing.T, rate float64, poisson bool, window time.Duration) float64 {
+	t.Helper()
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	n := Pace(context.Background(), clk, NewPacer(rate, poisson, 77), window, func(time.Time) bool { return true })
+	return float64(n) / window.Seconds()
+}
+
+// TestPacerOfferedRate verifies the open-loop pacer's offered rate lands
+// within 5% of the target under a simulated clock, for fixed and Poisson
+// arrivals across three decades of rate.
+func TestPacerOfferedRate(t *testing.T) {
+	const window = 10 * time.Second // simulated
+	for _, rate := range []float64{100, 1000, 20000} {
+		for _, poisson := range []bool{false, true} {
+			got := offeredRate(t, rate, poisson, window)
+			if relErr := math.Abs(got-rate) / rate; relErr > 0.05 {
+				t.Errorf("rate=%g poisson=%v: offered %.1f/s (rel err %.3f > 0.05)", rate, poisson, got, relErr)
+			}
+		}
+	}
+}
+
+func TestPacerScheduledTimesMonotonic(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	var prev time.Time
+	Pace(context.Background(), clk, NewPacer(5000, true, 3), time.Second, func(scheduled time.Time) bool {
+		if !prev.IsZero() && scheduled.Before(prev) {
+			t.Fatalf("scheduled arrival %v before predecessor %v", scheduled, prev)
+		}
+		if scheduled.After(clk.Now()) {
+			t.Fatalf("emit at clock %v ahead of scheduled %v", clk.Now(), scheduled)
+		}
+		prev = scheduled
+		return true
+	})
+}
+
+func TestPacerDeterministicSchedule(t *testing.T) {
+	collect := func() []time.Time {
+		clk := &fakeClock{now: time.Unix(0, 0)}
+		var out []time.Time
+		Pace(context.Background(), clk, NewPacer(1000, true, 9), time.Second, func(s time.Time) bool {
+			out = append(out, s)
+			return true
+		})
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at arrival %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPaceStopsOnContextAndEmitFalse(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n := Pace(ctx, clk, NewPacer(1000, false, 0), time.Second, func(time.Time) bool { return true }); n != 0 {
+		t.Errorf("cancelled context still emitted %d arrivals", n)
+	}
+	clk = &fakeClock{now: time.Unix(0, 0)}
+	var calls int
+	Pace(context.Background(), clk, NewPacer(1000, false, 0), time.Second, func(time.Time) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("emit=false stopped after %d calls, want 3", calls)
+	}
+}

@@ -1,0 +1,121 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Reservoir is a fixed-capacity uniform sample of a latency stream
+// (algorithm R): the first cap values are kept verbatim, after which each
+// new value replaces a random slot with probability cap/seen. Memory is
+// bounded at cap values no matter how long the run is — the property that
+// lets a multi-hour soak keep per-worker sampling allocation-free after
+// startup. Deterministic in its seed; not safe for concurrent use (each
+// worker owns one reservoir and they are merged after the run).
+type Reservoir struct {
+	cap     int
+	seen    int64
+	samples []int64
+	rng     *rand.Rand
+}
+
+// NewReservoir returns a reservoir keeping at most cap samples,
+// deterministic in seed. cap must be positive.
+func NewReservoir(cap int, seed int64) *Reservoir {
+	if cap <= 0 {
+		panic("load: reservoir capacity must be positive")
+	}
+	return &Reservoir{cap: cap, samples: make([]int64, 0, cap), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one value to the sample.
+func (r *Reservoir) Add(v int64) {
+	r.seen++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, v)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.samples[j] = v
+	}
+}
+
+// Seen returns how many values were offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Len returns how many samples are held.
+func (r *Reservoir) Len() int { return len(r.samples) }
+
+// Quantile returns the q-quantile (0 < q <= 1) of the held samples by the
+// nearest-rank method, or 0 when the reservoir is empty.
+func (r *Reservoir) Quantile(q float64) int64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return nearestRank(sorted, q)
+}
+
+// nearestRank returns the q-quantile of sorted by the nearest-rank method.
+func nearestRank(sorted []int64, q float64) int64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// weightedSample is one sample with the stream mass it represents.
+type weightedSample struct {
+	v int64
+	w float64
+}
+
+// MergedQuantiles estimates quantiles over the union of the reservoirs'
+// streams. Each reservoir's samples stand for seen/len(samples) stream
+// values apiece, so the merge weights samples by that ratio instead of
+// concatenating — concatenation would over-represent workers whose streams
+// were short (their reservoirs sample densely). Returns one value per
+// requested quantile, plus the overall maximum sample; all zeros when every
+// reservoir is empty.
+func MergedQuantiles(rs []*Reservoir, qs []float64) (vals []int64, max int64) {
+	var all []weightedSample
+	for _, r := range rs {
+		if r == nil || len(r.samples) == 0 {
+			continue
+		}
+		w := float64(r.seen) / float64(len(r.samples))
+		for _, v := range r.samples {
+			all = append(all, weightedSample{v, w})
+			if v > max {
+				max = v
+			}
+		}
+	}
+	vals = make([]int64, len(qs))
+	if len(all) == 0 {
+		return vals, 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	var total float64
+	for _, s := range all {
+		total += s.w
+	}
+	for i, q := range qs {
+		target := q * total
+		var cum float64
+		vals[i] = all[len(all)-1].v
+		for _, s := range all {
+			cum += s.w
+			if cum >= target {
+				vals[i] = s.v
+				break
+			}
+		}
+	}
+	return vals, max
+}

@@ -1,0 +1,368 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects how load is offered.
+type Mode string
+
+// Supported load modes.
+const (
+	// ModeClosed runs Workers loops, each issuing its next call as soon as
+	// the previous one completes: offered load adapts to the system, which
+	// measures peak sustainable throughput but hides queueing delay.
+	ModeClosed Mode = "closed"
+	// ModeOpen schedules call arrivals on a clock at a fixed offered rate
+	// regardless of completions; latency is measured from the scheduled
+	// arrival, so queueing behind a slow server counts (no coordinated
+	// omission).
+	ModeOpen Mode = "open"
+)
+
+// Op executes one call of the workload: keys holds the key indices the call
+// targets (length Config.OpsPerCall — one for single-op workloads, the batch
+// size for batched ones). Implementations must honor ctx so a drain timeout
+// can abort stuck calls, and must be safe for concurrent use by Workers
+// goroutines.
+type Op func(ctx context.Context, keys []int) error
+
+// Config parameterizes one load run.
+type Config struct {
+	// Mode is open or closed loop. Defaults to closed.
+	Mode Mode
+	// Workers is the concurrency: loop count in closed mode, executor pool
+	// size in open mode. Defaults to 8.
+	Workers int
+	// Rate is the open-loop offered rate in operations/second (calls are
+	// offered at Rate/OpsPerCall). Required in open mode.
+	Rate float64
+	// Poisson selects exponential open-loop inter-arrival gaps instead of
+	// fixed ones.
+	Poisson bool
+	// Warmup is how long to run before measuring (samples and errors
+	// discarded). Defaults to zero.
+	Warmup time.Duration
+	// Measure is the measurement window. Required.
+	Measure time.Duration
+	// Keys describes the key distribution.
+	Keys KeySpec
+	// Seed makes key sequences and open-loop schedules deterministic.
+	Seed int64
+	// OpsPerCall is how many operations one Op call performs (the batch
+	// size); throughput counts operations, latency is per call. Defaults
+	// to 1.
+	OpsPerCall int
+	// SampleCap bounds each worker's latency reservoir. Defaults to 4096.
+	SampleCap int
+	// QueueCap bounds the open-loop arrival queue; arrivals offered while it
+	// is full are dropped and counted in Result.Overflows (the server was
+	// offered load it could not even queue). Defaults to 1<<15.
+	QueueCap int
+	// DrainTimeout bounds the post-window drain: calls still in flight are
+	// cancelled after it. Defaults to 10s.
+	DrainTimeout time.Duration
+	// Clock abstracts time; nil means the wall clock.
+	Clock Clock
+	// OnMeasureStart, when non-nil, runs as the measurement window opens
+	// (cmd/slload starts its CPU profile here).
+	OnMeasureStart func()
+	// OnMeasureEnd, when non-nil, runs as the measurement window closes.
+	OnMeasureEnd func()
+}
+
+// withDefaults returns the config with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = ModeClosed
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.OpsPerCall <= 0 {
+		c.OpsPerCall = 1
+	}
+	if c.SampleCap <= 0 {
+		c.SampleCap = 4096
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1 << 15
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+	return c
+}
+
+// Result is what one load run measured.
+type Result struct {
+	// Calls is how many Op calls completed inside the measurement window's
+	// offered load (their latencies feed the quantiles).
+	Calls int64
+	// Ops is Calls times OpsPerCall.
+	Ops int64
+	// Errors is how many measured calls returned an error.
+	Errors int64
+	// Overflows is how many open-loop arrivals were dropped because the
+	// arrival queue was full.
+	Overflows int64
+	// TotalCalls counts every Op call across warmup, measurement, and drain —
+	// what the target system actually saw (cmd/slload checks it against
+	// /v1/stats).
+	TotalCalls int64
+	// Elapsed is the span from measurement start to the last measured call's
+	// completion (at least the measurement window when nothing completed).
+	Elapsed time.Duration
+	// P50, P95, P99, Max are latency quantiles over measured calls: per-call
+	// wall time in closed mode, scheduled-arrival-to-completion in open mode.
+	P50, P95, P99, Max time.Duration
+	// Samples is how many latency samples the merged reservoirs held.
+	Samples int
+	// Throughput is measured operations per second: Ops over Elapsed.
+	Throughput float64
+}
+
+// runState is the shared mutable state of one run.
+type runState struct {
+	cfg        Config
+	op         Op
+	phase      atomic.Int32 // 0 warmup, 1 measure, 2 done
+	mStart     time.Time
+	calls      atomic.Int64
+	errors     atomic.Int64
+	overflows  atomic.Int64
+	totalCalls atomic.Int64
+	lastDoneNs atomic.Int64 // completion offset of the latest measured call
+	reservoirs []*Reservoir
+}
+
+// Phases of a run.
+const (
+	phaseWarmup int32 = iota
+	phaseMeasure
+	phaseDone
+)
+
+// record accounts one completed measured call.
+func (s *runState) record(worker int, latNs int64, err error) {
+	s.reservoirs[worker].Add(latNs)
+	s.calls.Add(1)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	done := int64(s.cfg.Clock.Now().Sub(s.mStart))
+	for {
+		prev := s.lastDoneNs.Load()
+		if done <= prev || s.lastDoneNs.CompareAndSwap(prev, done) {
+			return
+		}
+	}
+}
+
+// Run executes one load run: warmup, measure, graceful drain. The returned
+// Result covers only the measurement window. Run returns an error for
+// invalid configuration or when in-flight calls ignore cancellation past the
+// drain timeout; per-call failures are counted, not returned.
+func Run(ctx context.Context, cfg Config, op Op) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Measure <= 0 {
+		return Result{}, fmt.Errorf("load: measurement window must be positive, got %v", cfg.Measure)
+	}
+	if cfg.Mode != ModeClosed && cfg.Mode != ModeOpen {
+		return Result{}, fmt.Errorf("load: unknown mode %q (supported: %s, %s)", cfg.Mode, ModeClosed, ModeOpen)
+	}
+	if cfg.Mode == ModeOpen && cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("load: open-loop mode requires a positive -rate, got %g", cfg.Rate)
+	}
+	if err := cfg.Keys.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	s := &runState{cfg: cfg, op: op, reservoirs: make([]*Reservoir, cfg.Workers)}
+	for i := range s.reservoirs {
+		s.reservoirs[i] = NewReservoir(cfg.SampleCap, cfg.Seed^int64(i+1)<<20)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var runErr error
+	switch cfg.Mode {
+	case ModeClosed:
+		runErr = runClosed(runCtx, cancel, s)
+	case ModeOpen:
+		runErr = runOpen(runCtx, cancel, s)
+	}
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	res := Result{
+		Calls:      s.calls.Load(),
+		Errors:     s.errors.Load(),
+		Overflows:  s.overflows.Load(),
+		TotalCalls: s.totalCalls.Load(),
+	}
+	res.Ops = res.Calls * int64(cfg.OpsPerCall)
+	res.Elapsed = time.Duration(s.lastDoneNs.Load())
+	if res.Elapsed < cfg.Measure {
+		res.Elapsed = cfg.Measure
+	}
+	qs, max := MergedQuantiles(s.reservoirs, []float64{0.50, 0.95, 0.99})
+	res.P50, res.P95, res.P99 = time.Duration(qs[0]), time.Duration(qs[1]), time.Duration(qs[2])
+	res.Max = time.Duration(max)
+	for _, r := range s.reservoirs {
+		res.Samples += r.Len()
+	}
+	res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
+	return res, nil
+}
+
+// drain waits for the workers (wg) to finish, cancelling in-flight calls
+// after the drain timeout; it errors only when calls ignore cancellation.
+func drain(cancel context.CancelFunc, wg *sync.WaitGroup, timeout time.Duration) error {
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		cancel()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("load: %d-second drain timed out twice: an Op ignores cancellation", int(timeout.Seconds()))
+	}
+}
+
+// runClosed runs the closed-loop mode: Workers goroutines, each owning a key
+// generator and issuing calls back-to-back, with a timer goroutine flipping
+// warmup -> measure -> done.
+func runClosed(ctx context.Context, cancel context.CancelFunc, s *runState) error {
+	cfg := s.cfg
+	gens := make([]KeyGen, cfg.Workers)
+	for i := range gens {
+		g, err := cfg.Keys.New(cfg.Seed + int64(i)*1000003)
+		if err != nil {
+			return err
+		}
+		gens[i] = g
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			gen := gens[worker]
+			buf := make([]int, cfg.OpsPerCall)
+			for s.phase.Load() != phaseDone && ctx.Err() == nil {
+				for j := range buf {
+					buf[j] = gen.Next()
+				}
+				ph := s.phase.Load()
+				t0 := cfg.Clock.Now()
+				err := s.op(ctx, buf)
+				s.totalCalls.Add(1)
+				if ph == phaseMeasure {
+					s.record(worker, int64(cfg.Clock.Now().Sub(t0)), err)
+				}
+			}
+		}(i)
+	}
+
+	// Phase timer: the workers read s.phase before each call, so a call
+	// straddling a boundary is attributed to the phase it started in.
+	cfg.Clock.Sleep(cfg.Warmup)
+	s.mStart = cfg.Clock.Now()
+	s.phase.Store(phaseMeasure)
+	if cfg.OnMeasureStart != nil {
+		cfg.OnMeasureStart()
+	}
+	cfg.Clock.Sleep(cfg.Measure)
+	s.phase.Store(phaseDone)
+	if cfg.OnMeasureEnd != nil {
+		cfg.OnMeasureEnd()
+	}
+	return drain(cancel, &wg, cfg.DrainTimeout)
+}
+
+// arrival is one open-loop scheduled call.
+type arrival struct {
+	scheduled time.Time
+	keys      []int
+	measured  bool
+}
+
+// runOpen runs the open-loop mode: one dispatcher paces arrivals onto a
+// bounded queue (dropping to Overflows when full), Workers executors drain
+// it. Whether an arrival is measured is decided by its scheduled time, so
+// the measured set is a deterministic function of the seed.
+func runOpen(ctx context.Context, cancel context.CancelFunc, s *runState) error {
+	cfg := s.cfg
+	gen, err := cfg.Keys.New(cfg.Seed)
+	if err != nil {
+		return err
+	}
+	callRate := cfg.Rate / float64(cfg.OpsPerCall)
+	pacer := NewPacer(callRate, cfg.Poisson, cfg.Seed+1)
+	queue := make(chan arrival, cfg.QueueCap)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for a := range queue {
+				err := s.op(ctx, a.keys)
+				s.totalCalls.Add(1)
+				if a.measured {
+					// Latency from the scheduled arrival: queueing delay
+					// (including time spent in our own arrival queue) counts.
+					s.record(worker, int64(cfg.Clock.Now().Sub(a.scheduled)), err)
+				}
+			}
+		}(i)
+	}
+
+	start := cfg.Clock.Now()
+	mStart := start.Add(cfg.Warmup)
+	s.mStart = mStart
+	measureStarted := false
+	Pace(ctx, cfg.Clock, pacer, cfg.Warmup+cfg.Measure, func(scheduled time.Time) bool {
+		if !measureStarted && !scheduled.Before(mStart) {
+			measureStarted = true
+			s.phase.Store(phaseMeasure)
+			if cfg.OnMeasureStart != nil {
+				cfg.OnMeasureStart()
+			}
+		}
+		keys := make([]int, cfg.OpsPerCall)
+		for j := range keys {
+			keys[j] = gen.Next()
+		}
+		select {
+		case queue <- arrival{scheduled: scheduled, keys: keys, measured: measureStarted}:
+		default:
+			if measureStarted {
+				s.overflows.Add(1)
+			}
+		}
+		return true
+	})
+	s.phase.Store(phaseDone)
+	if cfg.OnMeasureEnd != nil {
+		cfg.OnMeasureEnd()
+	}
+	close(queue)
+	return drain(cancel, &wg, cfg.DrainTimeout)
+}

@@ -1,0 +1,132 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunClosedLoop(t *testing.T) {
+	var total atomic.Int64
+	cfg := Config{
+		Mode:    ModeClosed,
+		Workers: 4,
+		Warmup:  20 * time.Millisecond,
+		Measure: 100 * time.Millisecond,
+		Keys:    KeySpec{Dist: DistUniform, Keys: 16},
+		Seed:    1,
+	}
+	res, err := Run(context.Background(), cfg, func(ctx context.Context, keys []int) error {
+		total.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls == 0 || res.Ops != res.Calls {
+		t.Errorf("calls=%d ops=%d, want nonzero and equal at batch 1", res.Calls, res.Ops)
+	}
+	if res.TotalCalls < res.Calls {
+		t.Errorf("total calls %d < measured calls %d", res.TotalCalls, res.Calls)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+	if res.P50 <= 0 || res.P99 < res.P95 || res.P95 < res.P50 || res.Max < res.P99 {
+		t.Errorf("quantiles disordered: p50=%v p95=%v p99=%v max=%v", res.P50, res.P95, res.P99, res.Max)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %g, want > 0", res.Throughput)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	cfg := Config{
+		Mode:    ModeOpen,
+		Workers: 4,
+		Rate:    2000,
+		Warmup:  20 * time.Millisecond,
+		Measure: 200 * time.Millisecond,
+		Keys:    KeySpec{Dist: DistHotKey, Keys: 16},
+		Seed:    1,
+	}
+	res, err := Run(context.Background(), cfg, func(ctx context.Context, keys []int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000/s over a 200ms window is ~400 measured calls; allow wide margin
+	// for CI scheduling but demand the right order of magnitude.
+	if res.Calls < 100 || res.Calls > 800 {
+		t.Errorf("open-loop measured %d calls at 2000/s over 200ms, want ~400", res.Calls)
+	}
+	if res.Overflows != 0 {
+		t.Errorf("overflows = %d for a trivial op, want 0", res.Overflows)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	errBoom := errors.New("boom")
+	var n atomic.Int64
+	cfg := Config{
+		Mode:    ModeClosed,
+		Workers: 2,
+		Measure: 50 * time.Millisecond,
+		Keys:    KeySpec{Dist: DistUniform, Keys: 4},
+	}
+	res, err := Run(context.Background(), cfg, func(ctx context.Context, keys []int) error {
+		time.Sleep(50 * time.Microsecond)
+		if n.Add(1)%2 == 0 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Error("alternating failures recorded zero errors")
+	}
+	if res.Errors > res.Calls {
+		t.Errorf("errors %d > calls %d", res.Errors, res.Calls)
+	}
+}
+
+func TestRunBatchCountsOps(t *testing.T) {
+	cfg := Config{
+		Mode:       ModeClosed,
+		Workers:    2,
+		Measure:    50 * time.Millisecond,
+		Keys:       KeySpec{Dist: DistUniform, Keys: 8},
+		OpsPerCall: 16,
+	}
+	res, err := Run(context.Background(), cfg, func(ctx context.Context, keys []int) error {
+		if len(keys) != 16 {
+			t.Errorf("len(keys) = %d, want 16", len(keys))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != res.Calls*16 {
+		t.Errorf("ops = %d, want calls*16 = %d", res.Ops, res.Calls*16)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	op := func(ctx context.Context, keys []int) error { return nil }
+	cases := []Config{
+		{Mode: ModeClosed, Keys: KeySpec{Dist: DistUniform, Keys: 4}},                          // no measure window
+		{Mode: ModeOpen, Measure: time.Millisecond, Keys: KeySpec{Dist: DistUniform, Keys: 4}}, // no rate
+		{Mode: "hybrid", Measure: time.Millisecond, Keys: KeySpec{Dist: DistUniform, Keys: 4}}, // bad mode
+		{Mode: ModeClosed, Measure: time.Millisecond, Keys: KeySpec{Dist: "bad", Keys: 4}},     // bad dist
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg, op); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -58,6 +58,7 @@ type BatchResponse struct {
 // could not run.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	s.countEndpoint("batch")
 
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes+1))
 	if err != nil {

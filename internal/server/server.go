@@ -57,9 +57,19 @@ type Server struct {
 	failures atomic.Int64
 	batches  atomic.Int64
 	batchOps atomic.Int64
+	// inFlight gauges requests currently inside ServeHTTP; maxInFlight is
+	// the high-water mark, the server-side record of the deepest concurrency
+	// a load run actually reached.
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
 	// opsByKind counts operations per kind name (*atomic.Int64 values);
 	// open-ended because the kind set is.
 	opsByKind sync.Map
+	// endpoints counts requests per endpoint label (*atomic.Int64 values):
+	// "kind/op" for single-operation endpoints with registered vocabulary,
+	// "batch", "kinds", "stats", and "other" for everything unregistered —
+	// bounded labels so hostile paths cannot grow the map.
+	endpoints sync.Map
 }
 
 // Option configures a Server beyond its registry options.
@@ -99,7 +109,37 @@ func (s *Server) Registry() *registry.Registry { return s.reg }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	n := s.inFlight.Add(1)
+	for {
+		max := s.maxInFlight.Load()
+		if n <= max || s.maxInFlight.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	defer s.inFlight.Add(-1)
 	s.mux.ServeHTTP(w, r)
+}
+
+// countEndpoint bumps the per-endpoint request counter.
+func (s *Server) countEndpoint(label string) {
+	c, ok := s.endpoints.Load(label)
+	if !ok {
+		c, _ = s.endpoints.LoadOrStore(label, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// endpointLabel maps a single-operation route to its bounded endpoint label:
+// "kind/op" when both path segments are registered vocabulary, "other"
+// otherwise (so arbitrary request paths cannot grow the stats map).
+func endpointLabel(kindName, op string) string {
+	if _, ok := kind.Lookup(kindName); !ok {
+		return "other"
+	}
+	if _, ok := kind.Intern([]byte(op)); !ok {
+		return "other"
+	}
+	return kindName + "/" + op
 }
 
 // Request is the JSON body accepted by every operation endpoint; fields are
@@ -152,6 +192,7 @@ func classify(err error) error {
 
 func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	kindName, name, op := r.PathValue("kind"), r.PathValue("name"), r.PathValue("op")
+	s.countEndpoint(endpointLabel(kindName, op))
 
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
@@ -272,6 +313,7 @@ type KindsResponse struct {
 // server can serve, their ops, and whether they lease from a dedicated
 // pool.
 func (s *Server) handleKinds(w http.ResponseWriter, r *http.Request) {
+	s.countEndpoint("kinds")
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(KindsResponse{Kinds: kind.Describe()}); err != nil {
 		log.Printf("server: encode kinds: %v", err)
@@ -282,13 +324,23 @@ func (s *Server) handleKinds(w http.ResponseWriter, r *http.Request) {
 // requests accepted for execution; BatchOps counts the entries they carried
 // (each also appears in Ops under its kind).
 type Stats struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Requests      int64            `json:"requests"`
-	Failures      int64            `json:"failures"`
-	Batches       int64            `json:"batches"`
-	BatchOps      int64            `json:"batch_ops"`
-	Ops           map[string]int64 `json:"ops"`
-	Registry      registry.Stats   `json:"registry"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Failures      int64   `json:"failures"`
+	Batches       int64   `json:"batches"`
+	BatchOps      int64   `json:"batch_ops"`
+	// InFlight is how many requests are inside the handler right now;
+	// MaxInFlight is the deepest concurrency observed since start. Load
+	// harnesses read MaxInFlight to confirm their offered concurrency
+	// actually reached the server.
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int64 `json:"max_in_flight"`
+	// Endpoints counts requests per endpoint: "kind/op" for registered
+	// single-operation routes, "batch"/"kinds"/"stats" for the fixed routes,
+	// "other" for unregistered vocabulary.
+	Endpoints map[string]int64 `json:"endpoints"`
+	Ops       map[string]int64 `json:"ops"`
+	Registry  registry.Stats   `json:"registry"`
 }
 
 // Stats returns a snapshot of server metrics.
@@ -302,18 +354,27 @@ func (s *Server) Stats() Stats {
 		}
 		ops[n] = count
 	}
+	endpoints := make(map[string]int64)
+	s.endpoints.Range(func(key, value any) bool {
+		endpoints[key.(string)] = value.(*atomic.Int64).Load()
+		return true
+	})
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		Failures:      s.failures.Load(),
 		Batches:       s.batches.Load(),
 		BatchOps:      s.batchOps.Load(),
+		InFlight:      s.inFlight.Load(),
+		MaxInFlight:   s.maxInFlight.Load(),
+		Endpoints:     endpoints,
 		Ops:           ops,
 		Registry:      s.reg.Stats(),
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.countEndpoint("stats")
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
 		log.Printf("server: encode stats: %v", err)
