@@ -64,7 +64,7 @@ func TestJSONSummary(t *testing.T) {
 	if err := json.Unmarshal([]byte(line), &sum); err != nil {
 		t.Fatalf("summary is not valid JSON: %v\n%s", err, line)
 	}
-	if sum.Schema != "slbench/v4" {
+	if sum.Schema != "slbench/v5" {
 		t.Errorf("schema = %q", sum.Schema)
 	}
 	if len(sum.Probes) < 8 {
@@ -85,9 +85,12 @@ func TestJSONSummary(t *testing.T) {
 			t.Errorf("probe %q has negative allocs_per_op %v", p.Name, p.AllocsPerOp)
 		}
 		// Paper-layer probes must report their register allocation (the
-		// space metric); service-layer probes document it as zero.
+		// space metric); service-layer probes — including universal/*,
+		// which reads GCStats off an object living behind the registry —
+		// document it as zero.
 		serviceLayer := strings.HasPrefix(p.Name, "registry/") ||
-			strings.HasPrefix(p.Name, "server/") || strings.HasPrefix(p.Name, "driver/")
+			strings.HasPrefix(p.Name, "server/") || strings.HasPrefix(p.Name, "driver/") ||
+			strings.HasPrefix(p.Name, "universal/")
 		if serviceLayer && p.Registers != 0 {
 			t.Errorf("service-layer probe %q reports registers=%d, want 0", p.Name, p.Registers)
 		}
@@ -119,13 +122,17 @@ func TestJSONSummary(t *testing.T) {
 	if !names["driver/bag-insert"] {
 		t.Error("the bag driver is not registered in slbench (missing driver/bag-insert probe)")
 	}
-	// Schema v4: the growth/steady distinction and the steady-state
-	// counterparts of the two growth probes.
+	// Schema v4 added the growth/steady distinction; v5 reclassifies
+	// driver/object-execute as steady (history truncation is on by default
+	// for the object kind, so its history no longer grows over the probe)
+	// and adds the GC probes with truncation telemetry.
 	for name, wantMode := range map[string]string{
-		"driver/object-execute":      "growth",
+		"driver/object-execute":      "steady",
 		"driver/bag-insert":          "growth",
 		"driver/object-execute-warm": "steady",
 		"driver/bag-churn":           "steady",
+		"driver/object-gc-churn":     "steady",
+		"universal/live-nodes":       "steady",
 		"counter/inc-direct":         "steady",
 	} {
 		if !names[name] {
@@ -137,6 +144,12 @@ func TestJSONSummary(t *testing.T) {
 	for _, p := range sum.Probes {
 		if p.Name == "driver/bag-churn" && p.SpaceCells <= 0 {
 			t.Errorf("bag churn probe reports space_cells=%d, want > 0 (the open tail chunk)", p.SpaceCells)
+		}
+		// Live precedence-graph nodes: the churn ops themselves are live
+		// until truncated, so this is always at least 1. (Truncation count
+		// is not asserted — a 2ms probe may end before the first window.)
+		if p.Name == "universal/live-nodes" && p.SpaceCells <= 0 {
+			t.Errorf("live-nodes probe reports space_cells=%d, want > 0", p.SpaceCells)
 		}
 	}
 	// The derived ratio is what BENCH_*.json records for the batch pipeline;

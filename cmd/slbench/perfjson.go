@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"time"
 
+	"slmem"
 	"slmem/internal/bag" // registers the bag kind; churn probe reads its stats
 	"slmem/internal/core"
 	"slmem/internal/kind"
@@ -42,8 +43,16 @@ type perfProbe struct {
 	Registers int `json:"registers"`
 	// SpaceCells, when set, is the number of reachable storage cells the
 	// probed object holds after the probe — the bounded-space evidence for
-	// the bag churn probe.
+	// the bag churn and universal GC probes (live precedence-graph nodes
+	// for the latter).
 	SpaceCells int `json:"space_cells,omitempty"`
+	// Truncations, when set, is how many times the probed universal
+	// object's garbage collector advanced its truncation root during the
+	// probe.
+	Truncations int64 `json:"truncations,omitempty"`
+	// RootVersion, when set, is the probed universal object's truncation
+	// root version when the probe ended.
+	RootVersion int64 `json:"root_version,omitempty"`
 }
 
 // perfDerived reports the batch-pipeline headline numbers computed from the
@@ -232,19 +241,20 @@ func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
 	// so a newly registered kind — the Ellen–Sela bag here — shows up in
 	// BENCH_*.json with zero edits to this file.
 	//
-	// These probes run LAST: the bag's inserted items and the universal
-	// object's history stay live in the registry, and running them earlier
-	// would tax every later probe's GC and skew the derived pair against
-	// BENCH_0002 (which had no driver probes). Two numbers here are marked
-	// mode:"growth" by construction: object-execute's history accumulates
-	// over the probe (with the replay cache its per-op cost no longer grows
-	// with history length, but its node count does), and bag-insert with no
-	// removes accretes live cells — compare growth probes only across equal
-	// -probetime runs. Their steady-state counterparts follow:
-	// object-execute-warm measures the replay-cached path at a fixed,
-	// pre-grown history depth, and bag-churn pairs every insert with a
-	// remove so chunk recycling holds live space constant (recorded in
-	// space_cells).
+	// These probes run LAST: the bag's inserted items and whatever history
+	// the universal objects retain stay live in the registry, and running
+	// them earlier would tax every later probe's GC and skew the derived
+	// pair against BENCH_0002 (which had no driver probes). One number here
+	// is marked mode:"growth" by construction: bag-insert with no removes
+	// accretes live cells — compare growth probes only across equal
+	// -probetime runs. (object-execute used to be the other growth probe;
+	// with history truncation on by default its node count is bounded, so
+	// it is steady now.) Their steady-state counterparts follow:
+	// object-execute-warm measures the replay-cached path at a fixed
+	// pre-grown history depth, bag-churn pairs every insert with a remove
+	// so chunk recycling holds live space constant (recorded in
+	// space_cells), and object-gc-churn keeps every pool pid active so the
+	// low-watermark collector bounds live precedence-graph nodes.
 	{
 		reg := registry.New(registry.Options{Procs: n})
 		for _, d := range kind.Drivers() {
@@ -356,6 +366,61 @@ func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
 			}
 			probes[len(probes)-1].SpaceCells = st.LiveCells
 		}
+
+		// Bounded-memory universal churn: sustained executes through the
+		// driver path against a GC-enabled object (the driver default). The
+		// low-watermark collector only truncates below what EVERY process
+		// has anchored past, so the probe leases all n pids up front and
+		// rotates them — an idle pid would pin the graph. space_cells
+		// records the live precedence-graph nodes when the probe ends;
+		// truncations and root_version record the collector's progress. The
+		// paired universal/live-nodes probe prices the GCStats read itself
+		// (one root scan plus a delta extraction).
+		{
+			req := kind.Request{Op: "execute", Type: "counter", Invocation: "inc()"}
+			inst, pool, err := reg.Get(registry.Kind("object"), "gc-churn", req)
+			if err != nil {
+				return fmt.Errorf("object gc-churn probe: %w", err)
+			}
+			compiled, err := inst.Compile(req)
+			if err != nil {
+				return fmt.Errorf("object gc-churn probe: %w", err)
+			}
+			uw, ok := inst.(kind.Unwrapper)
+			if !ok {
+				return fmt.Errorf("object gc-churn probe: instance does not support Unwrap")
+			}
+			po, ok := uw.Unwrap().(*slmem.PooledObject)
+			if !ok {
+				return fmt.Errorf("object gc-churn probe: unexpected unwrap type %T", uw.Unwrap())
+			}
+			pids := make([]int, n)
+			for i := range pids {
+				pid, err := pool.Acquire(ctx)
+				if err != nil {
+					return fmt.Errorf("object gc-churn probe: %w", err)
+				}
+				pids[i] = pid
+			}
+			turn := 0
+			add("driver/object-gc-churn", "steady", 0, func() {
+				if _, err := compiled.Run(pids[turn]); err != nil {
+					panic(err)
+				}
+				turn = (turn + 1) % n
+			})
+			obj := po.Unpooled()
+			var st slmem.ObjectGCStats
+			add("universal/live-nodes", "steady", 0, func() { st = obj.GCStats(pids[0]) })
+			for _, p := range []*perfProbe{&probes[len(probes)-2], &probes[len(probes)-1]} {
+				p.SpaceCells = st.LiveNodes
+				p.Truncations = st.Truncations
+				p.RootVersion = st.RootVersion
+			}
+			for _, pid := range pids {
+				pool.Release(pid)
+			}
+		}
 	}
 
 	derived := perfDerived{
@@ -367,7 +432,7 @@ func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
 	}
 
 	sum := perfSummary{
-		Schema:     "slbench/v4",
+		Schema:     "slbench/v5",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		ProbeMs:    probeTime.Milliseconds(),

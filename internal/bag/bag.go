@@ -74,6 +74,33 @@
 // the number of chunks holding at least one unclaimed cell (plus one open
 // tail chunk per process), not to the insert total; Stats reports the
 // reachable-cell counts and the bag_test churn tests pin the bound.
+//
+// # Straggler migration
+//
+// A single unclaimed cell pins its whole chunk — nothing in the claimed-bit
+// invariants forces claims to be contiguous, so sustained churn can in
+// principle strand chunkSize cells per straggler. The owner's sweep
+// therefore migrates: a published non-tail chunk holding at most migrateMax
+// unclaimed cells has those cells claimed by the owner — through the same
+// test-and-set removers use, so races resolve exactly as remover-remover
+// races do — and the values the owner won are republished at the tail,
+// leaving the chunk fully claimed and recyclable. A migrated item is still
+// the same abstract item; no bag operation was invoked, so the migration
+// must be invisible. The success path of Remove is: a remover either claims
+// the old cell before the owner (an ordinary removal) or finds it claimed
+// and can win the republished cell instead. The observed-empty and Size
+// paths, whose double collects could otherwise catch an item mid-flight
+// (old cell claimed, new cell not yet published), validate against a
+// per-owner migration counter: the owner makes it odd before its first
+// claim and even again after republishing, and a clean collect additionally
+// requires every counter unchanged and even across its bit reads — any
+// migration whose claim could have landed inside the collect is caught by
+// the counter or by the publication views, and the collect retries. The
+// transit window is a bounded straight-line run of owner steps with no
+// retries inside, so these retries, like all others, are charged to another
+// process's progress; a process that halts mid-sweep stalls empty
+// observations and sizes until it resumes (the same caveat as a halted
+// process pinning any low-watermark scheme).
 package bag
 
 import (
@@ -124,13 +151,36 @@ type ownerLog struct {
 	tail     *chunk                // owner's append position
 	count    int                   // items appended == published count after each Insert
 	recycled atomic.Int64          // chunks unlinked over the log's lifetime
+	// Straggler migration (see the package comment): transit is odd while
+	// the owner has claimed straggler cells it has not yet republished;
+	// empty-Remove and Size validate their double collects against it.
+	// migrated counts cells republished over the log's lifetime.
+	transit  atomic.Int64
+	migrated atomic.Int64
 	// Sweep backoff: a full sweep costs O(live chunks), so insert-only
 	// workloads (whose sweeps never free anything) double the boundary
 	// interval between sweeps up to maxSweepBackoff, keeping the amortized
 	// sweep cost per insert O(1); any productive sweep resets the interval.
 	sweepWait  int
 	sweepEvery int
-	_          [16]byte // pad to a cache line (6 words above)
+	// Caller-pid scratch for the transit validation reads, allocated on
+	// first use so the empty/size paths stay allocation-free per call.
+	tcBefore, tcAfter []int64
+	_                 [16]byte // pad to two cache lines (14 words above)
+}
+
+// appendCell writes x into the owner's next log cell, linking a fresh
+// chunk at chunk boundaries. It does not publish: callers follow up with
+// one pub.Update covering every cell they appended. Owner-only.
+func (l *ownerLog) appendCell(x string) {
+	i := l.count % chunkSize
+	if l.count > 0 && i == 0 {
+		next := &chunk{base: l.count}
+		l.tail.next.Store(next)
+		l.tail = next
+	}
+	l.tail.vals[i] = x
+	l.count++
 }
 
 // maxSweepBackoff caps the sweep interval (in chunk boundaries): a fully
@@ -169,22 +219,22 @@ func (b *Bag) N() int { return b.n }
 
 // Insert adds x to the bag, as process pid. Wait-free given the snapshot's
 // wait-free update: one cell write plus one Update, and at chunk
-// boundaries an amortized-O(1) recycling sweep (see ownerLog's backoff).
+// boundaries an amortized-O(1) recycling-and-migration sweep (see
+// ownerLog's backoff; a migrating sweep appends the moved cells and
+// publishes them with one extra Update).
 func (b *Bag) Insert(pid int, x string) {
 	l := &b.logs[pid]
-	i := l.count % chunkSize
-	if l.count > 0 && i == 0 {
-		// Link a fresh chunk; the atomic store publishes it to readers
-		// (who will only follow it after the count covering it publishes).
-		next := &chunk{base: l.count}
-		l.tail.next.Store(next)
-		l.tail = next
-		// The just-filled chunk is now fully published: recycle what the
-		// removers have fully claimed, on the backoff schedule.
+	boundary := l.count > 0 && l.count%chunkSize == 0
+	l.appendCell(x)
+	// Publication: the Update's linearization point is Insert's.
+	b.pub.Update(pid, l.count)
+	if boundary {
+		// The previously filled chunk is now linked past and fully
+		// published: recycle and migrate on the backoff schedule.
 		l.sweepWait++
 		if l.sweepWait >= l.sweepEvery {
 			l.sweepWait = 0
-			switch freed := compact(l); {
+			switch freed := b.sweep(pid, l); {
 			case freed > 0:
 				l.sweepEvery = 1
 			case l.sweepEvery < maxSweepBackoff:
@@ -195,10 +245,55 @@ func (b *Bag) Insert(pid int, x string) {
 			}
 		}
 	}
-	l.tail.vals[i] = x
-	l.count++
-	// Publication: the Update's linearization point is Insert's.
-	b.pub.Update(pid, l.count)
+}
+
+// migrateMax is the most unclaimed cells a published non-tail chunk may
+// hold for the sweep to migrate it: a chunk qualifies only after removers
+// claimed chunkSize-migrateMax of its cells, so republication stays a small
+// amortized fraction of the removal traffic that earned it.
+const migrateMax = chunkSize / 8
+
+// sweep is the owner's full reclamation pass: unlink fully claimed chunks,
+// then migrate straggler chunks (at most migrateMax unclaimed cells) by
+// claiming their stragglers and republishing the values the owner won at
+// the tail, then unlink what migration just filled. Returns how many chunks
+// it unlinked. Owner-only; the transit counter brackets the claims so the
+// observed-empty and Size collects never linearize against a half-moved
+// item (see the package comment).
+func (b *Bag) sweep(pid int, l *ownerLog) int {
+	freed := compact(l)
+	inTransit := false
+	var moved []string
+	for c := l.head.Load(); c != l.tail; c = c.next.Load() {
+		n := int(c.nclaimed.Load())
+		if n >= chunkSize || chunkSize-n > migrateMax {
+			continue
+		}
+		if !inTransit {
+			// Enter transit before the first claim: validators that could
+			// observe one of these bits set must see an odd or changed
+			// counter and retry.
+			l.transit.Add(1)
+			inTransit = true
+		}
+		for i := 0; i < chunkSize; i++ {
+			if !c.taken(i) && c.tas(i) {
+				moved = append(moved, c.vals[i])
+			}
+		}
+	}
+	if inTransit {
+		for _, x := range moved {
+			l.appendCell(x)
+		}
+		if len(moved) > 0 {
+			b.pub.Update(pid, l.count)
+			l.migrated.Add(int64(len(moved)))
+		}
+		l.transit.Add(1)
+		freed += compact(l)
+	}
+	return freed
 }
 
 // compact unlinks every fully published, fully claimed chunk of l except
@@ -232,15 +327,15 @@ func compact(l *ownerLog) int {
 }
 
 // Compact runs pid's recycling sweep immediately, unlinking its fully
-// claimed published chunks without waiting for the next chunk-boundary
-// Insert. Like every method it runs as process pid and sweeps only that
-// process's log; an idle producer can call it after removers drain its
-// items. Returns how many chunks the sweep unlinked, and resets the
-// insert-path sweep backoff.
+// claimed published chunks and migrating its straggler chunks without
+// waiting for the next chunk-boundary Insert. Like every method it runs as
+// process pid and sweeps only that process's log; an idle producer can call
+// it after removers drain its items. Returns how many chunks the sweep
+// unlinked, and resets the insert-path sweep backoff.
 func (b *Bag) Compact(pid int) int {
 	l := &b.logs[pid]
 	l.sweepWait, l.sweepEvery = 0, 1
-	return compact(l)
+	return b.sweep(pid, l)
 }
 
 // walkPublished iterates the still-reachable published cells of process
@@ -269,11 +364,16 @@ func (b *Bag) walkPublished(p int, limit int, visit func(c *chunk, i int) bool) 
 // ("", false) when the bag is observed empty: a clean double collect in
 // which every published item was already claimed (cells recycled out of
 // reach were observed claimed before their unlink, and claimed bits are
-// monotone). Lock-free: every retry is caused by another process's insert
-// publishing or another remover's test-and-set winning.
+// monotone) and no owner's migration could have claimed one of those bits
+// mid-flight (the transit counters bracket the bit reads). Lock-free:
+// every retry is caused by another process's insert publishing, another
+// remover's test-and-set winning, or an owner's bounded migration window
+// progressing.
 func (b *Bag) Remove(pid int) (string, bool) {
 	view := b.pub.Scan(pid)
+	l := &b.logs[pid]
 	for {
+		b.readTransit(&l.tcBefore)
 		allClaimed := true
 		var won *chunk
 		wonIdx := 0
@@ -296,10 +396,13 @@ func (b *Bag) Remove(pid int) (string, bool) {
 			return won.vals[wonIdx], true
 		}
 		view2 := b.pub.Scan(pid)
-		if allClaimed && equalViews(view, view2) {
+		b.readTransit(&l.tcAfter)
+		if allClaimed && equalViews(view, view2) && transitClean(l.tcBefore, l.tcAfter) {
 			// Empty case: at the last claimed-bit read, every item
 			// published then (= view, unchanged through the second scan)
-			// was already claimed — the bag was empty at that instant.
+			// was already claimed — and none of those claims belonged to a
+			// migration still in flight — so the bag was empty at that
+			// instant.
 			return "", false
 		}
 		view = view2
@@ -309,11 +412,16 @@ func (b *Bag) Remove(pid int) (string, bool) {
 // Size returns the number of items in the bag, as process pid: published
 // inserts minus claimed items, observed in a clean double collect (see the
 // package comment for where it linearizes). Cells no longer reachable
-// (recycled chunks) count as claimed. Lock-free: it retries only when an
-// insert publishes between the two scans.
+// (recycled chunks) count as claimed, and the transit counters rule out a
+// migration claiming bits mid-collect — a fully migrated item inside the
+// view contributes one published cell and one claimed cell, net zero.
+// Lock-free: it retries only when an insert publishes between the two
+// scans or an owner's bounded migration window progresses.
 func (b *Bag) Size(pid int) int {
 	view := b.pub.Scan(pid)
+	l := &b.logs[pid]
 	for {
+		b.readTransit(&l.tcBefore)
 		total, claimed := 0, 0
 		for p := 0; p < b.n; p++ {
 			total += view[p]
@@ -328,11 +436,38 @@ func (b *Bag) Size(pid int) int {
 			claimed += reachableClaimed + (view[p] - visited)
 		}
 		view2 := b.pub.Scan(pid)
-		if equalViews(view, view2) {
+		b.readTransit(&l.tcAfter)
+		if equalViews(view, view2) && transitClean(l.tcBefore, l.tcAfter) {
 			return total - claimed
 		}
 		view = view2
 	}
+}
+
+// readTransit loads every owner's migration counter into *dst, allocating
+// the caller's scratch on first use.
+func (b *Bag) readTransit(dst *[]int64) {
+	if *dst == nil {
+		*dst = make([]int64, b.n)
+	}
+	for p := range b.logs {
+		(*dst)[p] = b.logs[p].transit.Load()
+	}
+}
+
+// transitClean reports whether two transit reads bracketing a collect's bit
+// reads are pointwise equal and even: no migration was in flight at either
+// read, and none completed between them. Counters are single-writer and
+// monotone, so equal reads mean no transition at all — any migration whose
+// claim landed inside the bracket is caught here (or, when it completed
+// and republished before the first read, by the publication views).
+func transitClean(before, after []int64) bool {
+	for i := range before {
+		if before[i] != after[i] || before[i]%2 != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // BagStats describes a bag's space at one instant, as observed by pid:
@@ -353,6 +488,10 @@ type BagStats struct {
 	// RecycledChunks is how many fully claimed chunks have been unlinked
 	// over the bag's lifetime (RecycledChunks*chunkSize cells reclaimed).
 	RecycledChunks int
+	// MigratedCells is how many straggler cells the owners' sweeps have
+	// republished at their tails over the bag's lifetime, freeing the
+	// nearly claimed chunks that held them.
+	MigratedCells int
 }
 
 // Stats reports the bag's space counters, as process pid. One scan plus a
@@ -364,6 +503,7 @@ func (b *Bag) Stats(pid int) BagStats {
 	for p := 0; p < b.n; p++ {
 		st.Published += view[p]
 		st.RecycledChunks += int(b.logs[p].recycled.Load())
+		st.MigratedCells += int(b.logs[p].migrated.Load())
 		lastChunk := (*chunk)(nil)
 		st.LiveCells += b.walkPublished(p, view[p], func(c *chunk, i int) bool {
 			if c != lastChunk {

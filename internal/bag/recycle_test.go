@@ -178,3 +178,160 @@ func TestStatsAccounting(t *testing.T) {
 		t.Fatalf("after one remove: %+v", st)
 	}
 }
+
+// claimFiat marks cell (c, i) claimed outside any Remove, standing in for a
+// remover that happened to claim exactly that cell: the bag's invariants
+// only require claimed bits to be monotone, never contiguous.
+func claimFiat(t *testing.T, c *chunk, i int) {
+	t.Helper()
+	if !c.tas(i) {
+		t.Fatalf("cell %d already claimed", i)
+	}
+}
+
+// TestStragglerChunkMigratesAndUnlinks pins the fragmentation fix: a chunk
+// left with a single unclaimed cell is migrated — the owner claims the
+// straggler and republishes it at the tail — and then unlinks, instead of
+// pinning chunkSize cells forever.
+func TestStragglerChunkMigratesAndUnlinks(t *testing.T) {
+	b := New(1)
+	for i := 0; i < 2*chunkSize; i++ {
+		b.Insert(0, fmt.Sprintf("item-%d", i))
+	}
+	// Strand one straggler: claim every cell of the head chunk except the
+	// last. Before the fix this chunk could never recycle.
+	head := b.logs[0].head.Load()
+	for i := 0; i < chunkSize-1; i++ {
+		claimFiat(t, head, i)
+	}
+	if freed := b.Compact(0); freed < 1 {
+		t.Fatalf("Compact freed %d chunks, want >= 1 (straggler chunk should migrate and unlink)", freed)
+	}
+	st := b.Stats(0)
+	if st.MigratedCells != 1 {
+		t.Errorf("MigratedCells = %d, want 1", st.MigratedCells)
+	}
+	if st.RecycledChunks < 1 {
+		t.Errorf("RecycledChunks = %d, want >= 1", st.RecycledChunks)
+	}
+	if b.logs[0].head.Load() == head {
+		t.Error("straggler chunk still linked as head after Compact")
+	}
+	if tc := b.logs[0].transit.Load(); tc%2 != 0 {
+		t.Errorf("transit counter = %d after Compact, want even", tc)
+	}
+	// The migrated item and the second chunk's items are all still here,
+	// exactly once each.
+	want := chunkSize + 1
+	if got := b.Size(0); got != want {
+		t.Fatalf("Size = %d after migration, want %d", got, want)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < want; i++ {
+		v, ok := b.Remove(0)
+		if !ok {
+			t.Fatalf("drain %d: bag empty early", i)
+		}
+		if seen[v] {
+			t.Fatalf("item %q removed twice (migration duplicated it)", v)
+		}
+		seen[v] = true
+	}
+	if !seen[fmt.Sprintf("item-%d", chunkSize-1)] {
+		t.Error("the migrated straggler was never removed")
+	}
+	if _, ok := b.Remove(0); ok {
+		t.Error("bag should be empty after draining")
+	}
+}
+
+// TestMigrationRacesRemovers races the owner's migrating Compact against a
+// remover gunning for the same straggler cell (run with -race): exactly one
+// of them wins the item, nothing is duplicated or lost, and the empty/size
+// double collects never linearize against the half-moved item.
+func TestMigrationRacesRemovers(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for it := 0; it < iters; it++ {
+		b := New(2)
+		for i := 0; i < chunkSize+1; i++ {
+			b.Insert(0, fmt.Sprintf("item-%d", i))
+		}
+		head := b.logs[0].head.Load()
+		for i := 0; i < chunkSize-1; i++ {
+			claimFiat(t, head, i)
+		}
+		// Bag now holds the straggler and the one tail item.
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // owner: migrating sweeps
+			defer wg.Done()
+			b.Compact(0)
+			b.Compact(0)
+		}()
+		removed := make([]string, 0, 2)
+		go func() { // remover: drain both items
+			defer wg.Done()
+			for len(removed) < 2 {
+				if v, ok := b.Remove(1); ok {
+					removed = append(removed, v)
+				}
+			}
+		}()
+		wg.Wait()
+		if removed[0] == removed[1] {
+			t.Fatalf("iter %d: item %q removed twice", it, removed[0])
+		}
+		if got := b.Size(0); got != 0 {
+			t.Fatalf("iter %d: Size = %d after drain, want 0", it, got)
+		}
+		if tc := b.logs[0].transit.Load(); tc%2 != 0 {
+			t.Fatalf("iter %d: transit counter = %d, want even", it, tc)
+		}
+		b.Compact(0)
+		if st := b.Stats(0); st.LiveCells > chunkSize {
+			t.Fatalf("iter %d: LiveCells = %d after drain+compact, want <= one tail chunk", it, st.LiveCells)
+		}
+	}
+}
+
+// TestChurnWithStragglersBoundedSpace drives churn that continually strands
+// stragglers and checks migration keeps reachable space bounded: without
+// it, every stranded chunk would stay live and space would grow with the
+// churn total.
+func TestChurnWithStragglersBoundedSpace(t *testing.T) {
+	const rounds = 40
+	b := New(1)
+	next := 0
+	for r := 0; r < rounds; r++ {
+		// Fill two chunks, strand one straggler in the first by claiming
+		// around it, drain the rest through Remove.
+		for i := 0; i < 2*chunkSize; i++ {
+			b.Insert(0, fmt.Sprintf("item-%d", next))
+			next++
+		}
+		for i := 0; i < 2*chunkSize-1; i++ {
+			if _, ok := b.Remove(0); !ok {
+				t.Fatalf("round %d: bag empty early", r)
+			}
+		}
+		// One item per round survives; migration must keep repacking the
+		// survivors so live space tracks the survivor count, not rounds.
+	}
+	b.Compact(0)
+	st := b.Stats(0)
+	if got := b.Size(0); got != rounds {
+		t.Fatalf("Size = %d, want %d survivors", got, rounds)
+	}
+	// rounds survivors fit in O(rounds/chunkSize) chunks once migrated;
+	// allow generous slack for the open tail and not-yet-migrated chunks.
+	limit := (rounds/chunkSize + 4) * chunkSize
+	if st.LiveCells > limit {
+		t.Errorf("LiveCells = %d, want <= %d (migration failed to repack stragglers)", st.LiveCells, limit)
+	}
+	if st.MigratedCells == 0 {
+		t.Error("no cells migrated despite stranded survivors")
+	}
+}

@@ -113,6 +113,12 @@ type Options struct {
 	// shared pool, so a hot kind cannot starve the rest of the service (and
 	// vice versa). Batches mixing kinds acquire one lease per pool.
 	DedicatedPool bool
+	// GCWindow, when positive, asks instances of this kind to bound their
+	// memory by history truncation with the given per-process collection
+	// window (operations between truncation attempts). Zero leaves memory
+	// management to the instance's default; only kinds with unbounded
+	// per-operation history (the universal object) honor it.
+	GCWindow int
 }
 
 // Env is what the registry hands a driver when creating an instance.
@@ -152,6 +158,19 @@ type Driver interface {
 	// (under the registry's shard lock) with a request that already passed
 	// Validate.
 	New(env Env) (Instance, error)
+}
+
+// Batcher is implemented by instances that can amortize per-operation
+// bookkeeping across a run of operations executed by one leased pid — the
+// universal object defers its per-op checkpoint to one re-anchor per batch.
+// The registry's BatchExecute brackets each leased pid's dispatch with
+// BeginBatch/EndBatch; both must be cheap no-ops when the instance has
+// nothing to defer. The pid passed to EndBatch must match its BeginBatch.
+type Batcher interface {
+	// BeginBatch enters deferred mode for operations run as pid.
+	BeginBatch(pid int)
+	// EndBatch leaves deferred mode and settles deferred work for pid.
+	EndBatch(pid int)
 }
 
 // Prober is implemented by drivers that supply a representative mutating
@@ -342,6 +361,9 @@ type Info struct {
 	Ops []OpInfo `json:"ops"`
 	// DedicatedPool reports whether instances lease from a per-kind pool.
 	DedicatedPool bool `json:"dedicated_pool,omitempty"`
+	// GCWindow is the kind's history-truncation window, 0 when the kind
+	// does not truncate.
+	GCWindow int `json:"gc_window,omitempty"`
 }
 
 // Describe returns introspection records for every registered driver,
@@ -355,6 +377,7 @@ func Describe() []Info {
 			Doc:           d.Doc(),
 			Ops:           d.Ops(),
 			DedicatedPool: d.Options().DedicatedPool,
+			GCWindow:      d.Options().GCWindow,
 		})
 	}
 	return infos

@@ -200,6 +200,23 @@ func (r *Registry) BatchExecute(ctx context.Context, ops []BatchOp) (BatchOutcom
 		}
 	}()
 
+	// Instances that can defer per-op bookkeeping get one batch bracket per
+	// leased pid (the universal object re-anchors its replay cache once for
+	// the whole batch instead of per op). Registered after the release defer
+	// so every EndBatch runs while its pid is still held.
+	for _, re := range resolved {
+		b, ok := re.inst.(kind.Batcher)
+		if !ok {
+			continue
+		}
+		pid, leased := pids[re.pool]
+		if !leased {
+			continue // every op of this instance failed validation
+		}
+		b.BeginBatch(pid)
+		defer b.EndBatch(pid)
+	}
+
 	for i := range steps {
 		st := &steps[i]
 		if st.kind == stepInvalid {

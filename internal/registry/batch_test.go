@@ -370,3 +370,57 @@ func TestBatchExecuteDeadContextCreatesNoObjects(t *testing.T) {
 		t.Errorf("dead-context batch acquired %d leases, want 0", st.Pool.Acquires)
 	}
 }
+
+func TestBatchExecuteAnchorsOncePerPid(t *testing.T) {
+	r := New(Options{Procs: 4})
+	ctx := context.Background()
+
+	// Warm the object so creation cost is out of the picture, then settle
+	// its anchor counter.
+	warm := []BatchOp{{Kind: KindObject, Name: "acc", Op: OpExecute, Type: "accumulator", Invocation: "addTo(1)"}}
+	if _, err := r.BatchExecute(ctx, warm); err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := r.Object("acc", "accumulator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := pooled.Unpooled()
+	if !obj.GCEnabled() {
+		t.Fatal("registry-created universal object should have GC enabled by its driver options")
+	}
+	before := obj.CacheStats().Anchors
+
+	// One batch of 64 executes runs as one leased pid; the Batcher bracket
+	// must fold its 64 would-be re-anchors into one durable checkpoint.
+	ops := make([]BatchOp, 64)
+	for i := range ops {
+		ops[i] = BatchOp{Kind: KindObject, Name: "acc", Op: OpExecute, Type: "accumulator", Invocation: "addTo(1)"}
+	}
+	out, err := r.BatchExecute(ctx, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		if res.Err != nil {
+			t.Fatalf("op %d failed: %v", i, res.Err)
+		}
+	}
+	if out.Leases != 1 {
+		t.Fatalf("batch took %d leases, want 1", out.Leases)
+	}
+	if got := obj.CacheStats().Anchors - before; got > 1 {
+		t.Errorf("batch of 64 executes re-anchored %d times, want at most 1 per leased pid", got)
+	}
+
+	// The deferred anchor must still be durable: the next single op reads
+	// the batched state correctly.
+	read := []BatchOp{{Kind: KindObject, Name: "acc", Op: OpExecute, Type: "accumulator", Invocation: "read()"}}
+	out, err = r.BatchExecute(ctx, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := out.Results[0]; res.Err != nil || res.Value != "65" {
+		t.Fatalf("read after batch = (%q, %v), want 65", res.Value, res.Err)
+	}
+}

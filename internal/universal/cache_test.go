@@ -350,8 +350,8 @@ func TestDeltaNodesCovering(t *testing.T) {
 
 // TestCacheStatsString keeps fmt coverage honest for the exported struct.
 func TestCacheStatsString(t *testing.T) {
-	st := CacheStats{Hits: 2, Misses: 1}
-	if s := fmt.Sprintf("%+v", st); s != "{Hits:2 Misses:1}" {
+	st := CacheStats{Hits: 2, Misses: 1, Anchors: 3}
+	if s := fmt.Sprintf("%+v", st); s != "{Hits:2 Misses:1 Anchors:3}" {
 		t.Errorf("unexpected CacheStats rendering %q", s)
 	}
 }

@@ -1,0 +1,618 @@
+package universal
+
+import (
+	"math/rand"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"slmem/internal/lincheck"
+	"slmem/internal/memory"
+	"slmem/internal/sched"
+	"slmem/internal/spec"
+)
+
+// gcSimSystem builds a simulated system like cachedSimSystem, with
+// truncation enabled at the given window.
+func gcSimSystem(typ Type, scripts [][]string, window int, obj **Object) sched.System {
+	n := len(scripts)
+	return sched.System{
+		N: n,
+		Setup: func(env *sched.Env) []sched.Program {
+			o := New(env, typ, n)
+			o.SetGC(GCOptions{Window: window})
+			if obj != nil {
+				*obj = o
+			}
+			progs := make([]sched.Program, n)
+			for pid := range scripts {
+				pid := pid
+				progs[pid] = func(p *sched.Proc) {
+					for _, desc := range scripts[pid] {
+						desc := desc
+						p.Do(desc, func() string {
+							resp, err := o.Execute(pid, desc)
+							if err != nil {
+								return "ERR:" + err.Error()
+							}
+							return resp
+						})
+					}
+				}
+			}
+			return progs
+		},
+	}
+}
+
+// TestGCDifferentialNative replays identical randomized interleavings
+// against a truncating and an unbounded object: every response must be
+// byte-identical. The window is tiny so the truncating run collects many
+// times mid-script, and the unbounded run proves the graph would otherwise
+// keep every node.
+func TestGCDifferentialNative(t *testing.T) {
+	types := map[string]struct {
+		typ Type
+		ops []string
+	}{
+		"counter":     {CounterType{}, []string{"inc()", "read()"}},
+		"set":         {SetType{}, []string{"add(a)", "add(b)", "add(c)", "contains(a)", "contains(c)"}},
+		"accumulator": {AccumulatorType{}, []string{"addTo(3)", "addTo(-1)", "read()"}},
+		"register":    {RegisterType{}, []string{"write(x)", "write(y)", "read()"}},
+	}
+	const n, ops = 3, 150
+	for name, tc := range types {
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			var truncated int64
+			for seed := int64(0); seed < 5; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				type step struct {
+					pid  int
+					desc string
+				}
+				script := make([]step, ops)
+				for i := range script {
+					script[i] = step{pid: rng.Intn(n), desc: tc.ops[rng.Intn(len(tc.ops))]}
+				}
+
+				var alloc1, alloc2 memory.NativeAllocator
+				gcObj := New(&alloc1, tc.typ, n)
+				gcObj.SetGC(GCOptions{Window: 4})
+				unbounded := New(&alloc2, tc.typ, n)
+				for i, s := range script {
+					got, err := gcObj.Execute(s.pid, s.desc)
+					if err != nil {
+						t.Fatalf("seed %d gc op %d: %v", seed, i, err)
+					}
+					want, err := unbounded.Execute(s.pid, s.desc)
+					if err != nil {
+						t.Fatalf("seed %d unbounded op %d: %v", seed, i, err)
+					}
+					if got != want {
+						t.Fatalf("seed %d: op %d %s by p%d diverges: gc %q, unbounded %q",
+							seed, i, s.desc, s.pid, got, want)
+					}
+				}
+				st := gcObj.GCStats(0)
+				truncated += st.TruncatedNodes
+				if st.LiveNodes+int(st.TruncatedNodes) != ops {
+					t.Errorf("seed %d: live %d + truncated %d != %d ops",
+						seed, st.LiveNodes, st.TruncatedNodes, ops)
+				}
+				if got := unbounded.GCStats(0); got.LiveNodes != ops {
+					t.Errorf("seed %d: unbounded object lost nodes: %d != %d", seed, got.LiveNodes, ops)
+				}
+			}
+			if truncated == 0 {
+				t.Error("no seed triggered a truncation; shrink the window")
+			}
+		})
+	}
+}
+
+// TestGCDifferentialSched runs the same adversarial schedule against a
+// truncating and an unbounded system. The collector performs no
+// shared-memory steps of its own — it reuses the triggering operation's
+// scan and keeps watermarks outside the simulated memory — so the same
+// seed must yield byte-identical schedules and interpreted histories.
+func TestGCDifferentialSched(t *testing.T) {
+	scripts := counterScripts(3, 6)
+	var truncations int64
+	for seed := int64(0); seed < 25; seed++ {
+		var gcObj *Object
+		resGC := sched.Run(gcSimSystem(CounterType{}, scripts, 1, &gcObj), sched.NewSeeded(seed), sched.Options{})
+		resPlain := sched.Run(cachedSimSystem(CounterType{}, scripts, true, nil), sched.NewSeeded(seed), sched.Options{})
+		if !resGC.Completed() || !resPlain.Completed() {
+			t.Fatalf("seed %d: incomplete run: %v / %v", seed, resGC.Err, resPlain.Err)
+		}
+		if got, want := len(resGC.Schedule), len(resPlain.Schedule); got != want {
+			t.Fatalf("seed %d: schedules diverge: %d vs %d steps (GC must add no shared steps)", seed, got, want)
+		}
+		for i := range resGC.Schedule {
+			if resGC.Schedule[i] != resPlain.Schedule[i] {
+				t.Fatalf("seed %d: schedules diverge at step %d", seed, i)
+			}
+		}
+		if got, want := resGC.T.Interpreted().String(), resPlain.T.Interpreted().String(); got != want {
+			t.Fatalf("seed %d: truncated and unbounded histories diverge:\n--- gc ---\n%s\n--- unbounded ---\n%s",
+				seed, got, want)
+		}
+		truncations += gcObj.gc.truncations.Load() // no GCStats: its scan would block outside the simulation
+	}
+	if truncations == 0 {
+		t.Error("no adversarial schedule triggered a truncation")
+	}
+}
+
+// TestGCFallbackUnderAdversary checks the miss path with truncation live:
+// under heavily interleaved schedules operations observe non-covering
+// stragglers and fall back — now to the truncation root's checkpoint, not
+// the (possibly trimmed) full history — and every history must stay
+// linearizable.
+func TestGCFallbackUnderAdversary(t *testing.T) {
+	scripts := counterScripts(4, 5)
+	var totalMisses, truncations int64
+	for seed := int64(0); seed < 40; seed++ {
+		var obj *Object
+		res := sched.Run(gcSimSystem(CounterType{}, scripts, 1, &obj), sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckTranscript(res.T, spec.Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: truncated history not linearizable:\n%s", seed, res.T.Interpreted())
+		}
+		totalMisses += obj.CacheStats().Misses
+		truncations += obj.gc.truncations.Load()
+	}
+	if totalMisses == 0 {
+		t.Error("no schedule exercised the fallback (miss) path; widen the adversary")
+	}
+	if truncations == 0 {
+		t.Error("no schedule triggered a truncation")
+	}
+}
+
+// TestGCStrongPrefixTrees runs the strong-linearizability prefix-tree check
+// over truncated histories: branch several adversarial continuations off
+// shared prefixes of a GC-enabled system and verify a prefix-preserving
+// linearization order exists. This is the Attiya–Castañeda–Enea point that
+// reclamation must be validated against prefix-preserving checks, not plain
+// linearizability.
+func TestGCStrongPrefixTrees(t *testing.T) {
+	sys := gcSimSystem(CounterType{}, counterScripts(2, 4), 1, nil)
+	for seed := int64(0); seed < 6; seed++ {
+		probe := sched.Run(sys, sched.NewSeeded(seed), sched.Options{})
+		if !probe.Completed() {
+			t.Fatalf("seed %d: probe incomplete: %v", seed, probe.Err)
+		}
+		prefix := probe.Schedule
+		if len(prefix) > 16 {
+			prefix = prefix[:16]
+		}
+		conts := make([][]int, 0, 3)
+		for f := 0; f < 3; f++ {
+			adv := sched.NewChain(sched.NewScript(prefix...), sched.NewSeeded(seed*131+int64(f)))
+			res := sched.Run(sys, adv, sched.Options{})
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			conts = append(conts, res.Schedule[len(prefix):])
+		}
+		tree, err := sched.PrefixTree(sys, prefix, conts, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := lincheck.CheckStrong(lincheck.FromSchedTree(tree), spec.Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("seed %d: strong prefix-tree check failed at %s", seed, res.FailNode)
+		}
+	}
+}
+
+// TestGCTruncationRules pins the truncation rules at the unit level,
+// mirroring TestDeltaNodesCovering: the covering fixpoint must refuse a cut
+// some published node does not cover, and accept (and correctly replay) one
+// that every node covers.
+func TestGCTruncationRules(t *testing.T) {
+	build := func() (*Object, []*node) {
+		var alloc memory.NativeAllocator
+		o := New(&alloc, CounterType{}, 2)
+		o.SetGC(GCOptions{Window: 1 << 30}) // collect only when driven by hand
+		// p1 executes first with an empty view: its node covers nothing.
+		if _, err := o.Execute(1, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if _, err := o.Execute(0, "inc()"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return o, o.root.Scan(0)
+	}
+
+	t.Run("refuses-uncovered-cut", func(t *testing.T) {
+		o, view := build()
+		g := o.gc
+		// Fabricate watermarks claiming p0's prefix is anchored while p1's
+		// node — whose view covers neither — stays outside the cut. The
+		// fixpoint must walk the cut back to nothing.
+		g.marks[0].rec.Store(&watermarkRec{anchor: []int{5, -1}, version: 0})
+		g.marks[1].rec.Store(&watermarkRec{anchor: []int{5, -1}, version: 0})
+		g.mu.Lock()
+		o.collect(view)
+		g.mu.Unlock()
+		if st := o.GCStats(0); st.Truncations != 0 || st.RootVersion != 0 || st.LiveNodes != 7 {
+			t.Fatalf("unsafe cut was accepted: %+v", st)
+		}
+	})
+
+	t.Run("accepts-covered-cut", func(t *testing.T) {
+		o, view := build()
+		g := o.gc
+		// With p1's node inside the cut the remaining nodes all cover it.
+		g.marks[0].rec.Store(&watermarkRec{anchor: []int{5, 0}, version: 0})
+		g.marks[1].rec.Store(&watermarkRec{anchor: []int{5, 0}, version: 0})
+		g.mu.Lock()
+		o.collect(view)
+		g.mu.Unlock()
+		st := o.GCStats(0)
+		if st.Truncations != 1 || st.RootVersion != 1 || st.TruncatedNodes != 7 {
+			t.Fatalf("covered cut not applied: %+v", st)
+		}
+		if st.LiveNodes != 0 {
+			t.Fatalf("live nodes after full truncation = %d, want 0", st.LiveNodes)
+		}
+		// The checkpointed root must carry all seven increments.
+		if got, err := o.Execute(0, "read()"); err != nil || got != "7" {
+			t.Fatalf("read() after truncation = %q, %v; want \"7\"", got, err)
+		}
+	})
+}
+
+// TestGCStaleAnchorFallback is the GC/replay-cache interaction contract: a
+// cache anchor stranded below the truncation root (e.g. after a caching
+// toggle across truncations) must fall back to the checkpointed root —
+// never panic, never resurrect the poisoned cache state.
+func TestGCStaleAnchorFallback(t *testing.T) {
+	var alloc memory.NativeAllocator
+	o := New(&alloc, CounterType{}, 2)
+	o.SetGC(GCOptions{Window: 4})
+	const ops = 64
+	for i := 0; i < ops; i++ {
+		if _, err := o.Execute(i%2, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := o.gc.state.Load().cut
+	if cut[0] < 0 && cut[1] < 0 {
+		t.Fatal("no truncation happened; stale-anchor case needs a non-trivial root")
+	}
+	// Strand p0's anchor below the root and poison its cached state: the
+	// floor must reject the anchor and replay from the root checkpoint.
+	o.cache[0].anchor = []int{-1, -1}
+	o.cache[0].state = "POISON"
+	got, err := o.Execute(0, "read()")
+	if err != nil {
+		t.Fatalf("stale-anchor Execute failed: %v", err)
+	}
+	if got != strconv.Itoa(ops) {
+		t.Fatalf("read() with stale anchor = %q, want %d", got, ops)
+	}
+}
+
+// TestGCStaleAnchorUnderAdversary drives the same stale-anchor fallback
+// through adversarial schedules: each process strands its own cache anchor
+// mid-script (its cache entry is process-local, so self-poisoning between
+// operations is legal), and every resulting history must stay linearizable
+// with truncation live.
+func TestGCStaleAnchorUnderAdversary(t *testing.T) {
+	const n = 3
+	scripts := counterScripts(n, 6)
+	system := func(obj **Object) sched.System {
+		return sched.System{
+			N: n,
+			Setup: func(env *sched.Env) []sched.Program {
+				o := New(env, CounterType{}, n)
+				o.SetGC(GCOptions{Window: 1})
+				if obj != nil {
+					*obj = o
+				}
+				progs := make([]sched.Program, n)
+				for pid := range scripts {
+					pid := pid
+					progs[pid] = func(p *sched.Proc) {
+						for i, desc := range scripts[pid] {
+							if i == len(scripts[pid])-1 {
+								// Strand this process's own anchor below the
+								// cut — meaningful only once a truncation
+								// advanced the root; an all-(-1) anchor equals
+								// the trivial cut and would be legally used,
+								// poisoned state and all.
+								if cut := o.gc.state.Load().cut; cut[0] >= 0 || cut[1] >= 0 || cut[2] >= 0 {
+									o.cache[pid].anchor = []int{-1, -1, -1}
+									o.cache[pid].state = "POISON"
+								}
+							}
+							desc := desc
+							p.Do(desc, func() string {
+								resp, err := o.Execute(pid, desc)
+								if err != nil {
+									return "ERR:" + err.Error()
+								}
+								return resp
+							})
+						}
+					}
+				}
+				return progs
+			},
+		}
+	}
+	var truncations int64
+	for seed := int64(0); seed < 20; seed++ {
+		var obj *Object
+		res := sched.Run(system(&obj), sched.NewSeeded(seed), sched.Options{})
+		if !res.Completed() {
+			t.Fatalf("seed %d: incomplete: %v", seed, res.Err)
+		}
+		chk, err := lincheck.CheckTranscript(res.T, spec.Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chk.Ok {
+			t.Fatalf("seed %d: stale-anchor history not linearizable:\n%s", seed, res.T.Interpreted())
+		}
+		truncations += obj.gc.truncations.Load()
+	}
+	if truncations == 0 {
+		t.Error("no schedule triggered a truncation under the stale-anchor workload")
+	}
+}
+
+// TestGCChurnSoak is the acceptance soak: over >= 100k operations the
+// truncating object's live-node count stays flat — within 2x of the
+// collection period (window x processes) — while the unbounded object grows
+// linearly with every operation.
+func TestGCChurnSoak(t *testing.T) {
+	const n, window = 4, 256
+	ops := 100_000
+	if testing.Short() {
+		ops = 20_000
+	}
+
+	var alloc1, alloc2 memory.NativeAllocator
+	bounded := New(&alloc1, CounterType{}, n)
+	bounded.SetGC(GCOptions{Window: window})
+	unbounded := New(&alloc2, CounterType{}, n)
+
+	bound := 2 * n * window
+	maxLive := 0
+	for i := 0; i < ops; i++ {
+		if _, err := bounded.Execute(i%n, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 999 {
+			if live := bounded.GCStats(i % n).LiveNodes; live > maxLive {
+				maxLive = live
+			}
+		}
+	}
+	if maxLive == 0 || maxLive > bound {
+		t.Errorf("bounded live nodes peaked at %d, want within (0, %d]", maxLive, bound)
+	}
+
+	st := bounded.GCStats(0)
+	if st.LiveNodes+int(st.TruncatedNodes) != ops {
+		t.Errorf("live %d + truncated %d != %d ops", st.LiveNodes, st.TruncatedNodes, ops)
+	}
+	if st.Truncations < int64(ops/(4*n*window)) {
+		t.Errorf("only %d truncations over %d ops (window %d)", st.Truncations, ops, window)
+	}
+	if st.Truncations-st.PendingTrims <= 0 {
+		t.Errorf("no boundary pointers were ever cut: %+v", st)
+	}
+	// Physical truncation: an unrestricted walk from a fresh scan must stop
+	// at the severed boundaries, reaching far fewer nodes than executed.
+	// (Quiescent now, so reading trimmed views is safe.)
+	if reachable := len(precgraph(bounded.root.Scan(0)).nodes); reachable >= ops/10 {
+		t.Errorf("unrestricted walk still reaches %d of %d nodes; boundary views not cut", reachable, ops)
+	}
+
+	// The unbounded control grows linearly: every op stays reachable.
+	ubOps := ops / 10 // keep the control cheap; linearity is exact, not statistical
+	for i := 0; i < ubOps; i++ {
+		if _, err := unbounded.Execute(i%n, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := unbounded.HistorySize(0); got != ubOps {
+		t.Errorf("unbounded history = %d after %d ops, want exact linear growth", got, ubOps)
+	}
+}
+
+// TestGCConcurrentChurn runs truncation under real goroutine concurrency
+// (the race detector patrols the deferred boundary cuts) and checks no
+// operation is lost or duplicated through any truncation: the final count
+// equals the operations executed.
+func TestGCConcurrentChurn(t *testing.T) {
+	const n = 4
+	perProc := 5000
+	if testing.Short() {
+		perProc = 1000
+	}
+	var alloc memory.NativeAllocator
+	o := New(&alloc, CounterType{}, n)
+	o.SetCaching(true) // production config: without it a pinned collector makes ops O(history)
+	o.SetGC(GCOptions{Window: 64})
+
+	// Interleave for real: on one CPU the goroutines otherwise run in
+	// staggered bursts — the first finishes before the last starts — and a
+	// process that has not yet published a watermark pins the collector
+	// (the documented idle-process caveat), degrading the whole run to the
+	// unbounded path. The barrier plus a per-op yield keeps all n watermarks
+	// advancing, which is the scenario this test exists to exercise.
+	start := make(chan struct{})
+	done := make(chan error, n)
+	for p := 0; p < n; p++ {
+		go func(pid int) {
+			<-start
+			for i := 0; i < perProc; i++ {
+				if _, err := o.Execute(pid, "inc()"); err != nil {
+					done <- err
+					return
+				}
+				if i%512 == 511 {
+					_ = o.GCStats(pid) // concurrent stats reads race-patrol the collector
+				}
+				runtime.Gosched()
+			}
+			done <- nil
+		}(p)
+	}
+	close(start)
+	for p := 0; p < n; p++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := o.Execute(0, "read()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strconv.Itoa(n * perProc); got != want {
+		t.Fatalf("final count %q, want %q: truncation lost or duplicated operations", got, want)
+	}
+	if st := o.GCStats(0); st.Truncations == 0 {
+		t.Error("concurrent churn never truncated")
+	}
+}
+
+// TestGCBatchAnchoring checks the deferred-anchor batch mode: a 64-entry
+// batch re-anchors its process once, not 64 times, while every entry still
+// replays incrementally and responses match an unbatched reference.
+func TestGCBatchAnchoring(t *testing.T) {
+	var alloc1, alloc2 memory.NativeAllocator
+	o := New(&alloc1, CounterType{}, 2)
+	ref := New(&alloc2, CounterType{}, 2)
+
+	// Warm both with an op from each process.
+	for p := 0; p < 2; p++ {
+		if _, err := o.Execute(p, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Execute(p, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := o.CacheStats().Anchors
+
+	o.BeginBatch(0)
+	for i := 0; i < 64; i++ {
+		got, err := o.Execute(0, "inc()")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Execute(0, "inc()")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("batch entry %d diverges: %q vs %q", i, got, want)
+		}
+	}
+	o.EndBatch(0)
+
+	if got := o.CacheStats().Anchors - before; got != 1 {
+		t.Errorf("batch of 64 re-anchored %d times, want 1", got)
+	}
+	if st := o.CacheStats(); st.Misses != 0 {
+		t.Errorf("batch mode caused %d cache misses, want 0 (rolling anchor must advance)", st.Misses)
+	}
+	// The deferred checkpoint must be durable: the next op hits the cache.
+	hitsBefore := o.CacheStats().Hits
+	if got, err := o.Execute(0, "read()"); err != nil || got != "66" {
+		t.Fatalf("read() after batch = %q, %v; want \"66\"", got, err)
+	}
+	if o.CacheStats().Hits != hitsBefore+1 {
+		t.Error("op after EndBatch missed the cache; deferred checkpoint not written")
+	}
+}
+
+// FuzzGCWatermarkOrder fuzzes the order processes advance their watermarks:
+// each input byte selects the next process and operation, so the byte
+// stream drives watermark publication and collection cadence through
+// arbitrary interleavings. The truncating object must agree with the
+// unbounded reference on every response, and its node accounting must
+// balance.
+func FuzzGCWatermarkOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte("\x00\x00\x00\x01\x02\x03\x04\x05\x06\a\b\t\n\v\f\r"))
+	f.Add([]byte{5, 4, 3, 2, 1, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 3
+		ops := []string{"inc()", "read()"}
+		var alloc1, alloc2 memory.NativeAllocator
+		gcObj := New(&alloc1, CounterType{}, n)
+		gcObj.SetGC(GCOptions{Window: 2})
+		ref := New(&alloc2, CounterType{}, n)
+		total := 0
+		for i, b := range data {
+			pid := int(b) % n
+			desc := ops[(int(b)/n)%len(ops)]
+			got, err := gcObj.Execute(pid, desc)
+			if err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			want, err := ref.Execute(pid, desc)
+			if err != nil {
+				t.Fatalf("ref op %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("op %d (%s by p%d): gc %q, unbounded %q", i, desc, pid, got, want)
+			}
+			total++
+		}
+		if st := gcObj.GCStats(0); st.LiveNodes+int(st.TruncatedNodes) != total {
+			t.Fatalf("node accounting broken: live %d + truncated %d != %d ops",
+				st.LiveNodes, st.TruncatedNodes, total)
+		}
+	})
+}
+
+// TestGCRetune pins the SetGC contract: enabling is sticky, re-calling only
+// retunes the window.
+func TestGCRetune(t *testing.T) {
+	var alloc memory.NativeAllocator
+	o := New(&alloc, CounterType{}, 1)
+	if o.GCEnabled() {
+		t.Fatal("GC enabled before SetGC")
+	}
+	o.SetGC(GCOptions{})
+	if !o.GCEnabled() || o.gc.window != DefaultGCWindow {
+		t.Fatalf("default window = %d, want %d", o.gc.window, DefaultGCWindow)
+	}
+	first := o.gc
+	o.SetGC(GCOptions{Window: 8})
+	if o.gc != first || o.gc.window != 8 {
+		t.Fatal("SetGC retune replaced the collector state")
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := o.Execute(0, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := o.GCStats(0); st.Truncations == 0 || st.LiveNodes+int(st.TruncatedNodes) != 64 {
+		t.Fatalf("single-process truncation broken: %+v", st)
+	}
+	if got, err := o.Execute(0, "read()"); err != nil || got != "64" {
+		t.Fatalf("read() = %q, %v; want \"64\"", got, err)
+	}
+}

@@ -142,10 +142,17 @@ type pcache struct {
 	anchor []int
 	// state is the sequential state after replaying the anchored prefix.
 	state string
-	// hits and misses count this process's cache outcomes.
-	hits   atomic.Int64
-	misses atomic.Int64
-	_      [8]byte // pad to a cache line (56 bytes above)
+	// deferred marks batch mode: remember keeps the rolling anchor and raw
+	// state but postpones the checkpoint (the durable re-anchor) to EndBatch.
+	deferred bool
+	// dirty reports a deferred remember that EndBatch still has to checkpoint.
+	dirty bool
+	// hits and misses count this process's cache outcomes; anchors counts
+	// durable re-anchors (checkpoints written).
+	hits    atomic.Int64
+	misses  atomic.Int64
+	anchors atomic.Int64
+	_       [56]byte // pad to two cache lines (72 bytes above)
 }
 
 // CacheStats counts replay-cache outcomes across all processes.
@@ -156,6 +163,10 @@ type CacheStats struct {
 	// Misses counts operations that fell back to a full history replay
 	// because some extracted node did not cover the anchor.
 	Misses int64
+	// Anchors counts durable re-anchors: checkpoints written to the cache.
+	// Outside batch mode every cached operation re-anchors once; within a
+	// BeginBatch/EndBatch window the whole batch re-anchors once at the end.
+	Anchors int64
 }
 
 // Object is an implementation of a simple type from a snapshot object.
@@ -169,6 +180,7 @@ type Object struct {
 	index   []int // per-process count of executed operations
 	caching bool
 	cache   []pcache
+	gc      *gcInfo // nil until SetGC enables truncation
 }
 
 // New constructs the object over the strongly linearizable snapshot of
@@ -209,6 +221,7 @@ func (o *Object) CacheStats() CacheStats {
 	for p := range o.cache {
 		st.Hits += o.cache[p].hits.Load()
 		st.Misses += o.cache[p].misses.Load()
+		st.Anchors += o.cache[p].anchors.Load()
 	}
 	return st
 }
@@ -216,26 +229,46 @@ func (o *Object) CacheStats() CacheStats {
 // Execute performs the invocation as process p (Algorithm 5, execute):
 // it computes the response the history demands, publishes the operation's
 // node, and returns the response. With the replay cache warm it extracts,
-// sorts, and replays only the nodes beyond process p's anchor.
+// sorts, and replays only the nodes beyond process p's anchor; with GC
+// enabled the replay floor never drops below the truncation root, whose
+// checkpointed state stands in for the truncated prefix.
 func (o *Object) Execute(p int, invoke string) (string, error) {
+	var gs *gcState
+	if o.gc != nil {
+		gs = o.gc.state.Load()
+	}
 	view := o.root.Scan(p) // line 81
 
-	state := o.sp.Initial()
-	var anchor []int
-	if o.caching {
-		anchor = o.cache[p].anchor
-	}
-	delta, ok := deltaNodes(anchor, view) // line 82, restricted past the anchor
+	anchor, state, fromCache := o.floor(p, gs)
+	delta, ok := deltaNodes(anchor, view) // line 82, restricted past the floor
 	switch {
-	case !ok:
+	case !ok && fromCache:
 		// Some extracted node does not cover the anchor and may linearize
-		// inside the cached prefix: fall back to the full extraction.
+		// inside the cached prefix: fall back. With GC enabled the fallback
+		// floor is the truncation root — the history below it may already be
+		// trimmed — replayed from the checkpointed root state; without GC it
+		// is the full extraction.
 		o.cache[p].misses.Add(1)
-		anchor = nil
-		delta, _ = deltaNodes(nil, view)
-	case anchor != nil:
+		if gs != nil {
+			anchor, state = gs.cut, gs.base
+		} else {
+			anchor, state = nil, o.sp.Initial()
+		}
+		delta, ok = deltaNodes(anchor, view)
+		if !ok {
+			return "", fmt.Errorf("universal: extracted node does not cover truncation root v%d", gs.version)
+		}
+	case !ok:
+		// The floor was the truncation root itself; every reachable node
+		// covers it (the truncation invariant), so this cannot happen. A nil
+		// floor never fails extraction at all.
+		ver := int64(-1)
+		if gs != nil {
+			ver = gs.version
+		}
+		return "", fmt.Errorf("universal: extracted node does not cover truncation root v%d", ver)
+	case fromCache:
 		o.cache[p].hits.Add(1)
-		state = o.cache[p].state
 	}
 	g := deltaGraph(anchor, delta)
 	h := o.linearize(g) // line 83: topological sort of lingraph(G)
@@ -266,12 +299,44 @@ func (o *Object) Execute(p int, invoke string) (string, error) {
 	if o.caching {
 		o.remember(p, view, e, next)
 	}
+	if o.gc != nil {
+		o.gc.afterOp(o, p, view, e, gs)
+	}
 	return resp, nil
+}
+
+// floor picks process p's replay floor: its cache anchor when one exists and
+// still covers the truncation root, else the truncation root itself (a
+// checkpoint replay), else nothing (the full extraction). A cache anchor
+// below the root — stale since before a truncation, e.g. after a caching
+// toggle — is simply unusable, never an error: the root state subsumes it.
+func (o *Object) floor(p int, gs *gcState) (anchor []int, state string, fromCache bool) {
+	if o.caching {
+		if a := o.cache[p].anchor; a != nil && (gs == nil || atOrAbove(a, gs.cut)) {
+			return a, o.cache[p].state, true
+		}
+	}
+	if gs != nil {
+		return gs.cut, gs.base, false
+	}
+	return nil, o.sp.Initial(), false
+}
+
+// atOrAbove reports whether anchor a includes the cut pointwise.
+func atOrAbove(a, cut []int) bool {
+	for q, c := range cut {
+		if a[q] < c {
+			return false
+		}
+	}
+	return true
 }
 
 // remember re-anchors process p's cache at the view it just linearized plus
 // its own freshly published node, with the sequential state that includes
-// its own operation.
+// its own operation. In batch mode the checkpoint — the durable re-anchor —
+// is deferred to EndBatch; the rolling anchor and raw state still advance so
+// every batch entry replays only its own delta.
 func (o *Object) remember(p int, view []*node, e *node, state string) {
 	pc := &o.cache[p]
 	if pc.anchor == nil {
@@ -285,14 +350,46 @@ func (o *Object) remember(p int, view []*node, e *node, state string) {
 		}
 	}
 	pc.anchor[e.pid] = e.index
+	if pc.deferred {
+		pc.state = state
+		pc.dirty = true
+		return
+	}
 	pc.state = spec.Checkpoint(o.sp, state)
+	pc.anchors.Add(1)
+}
+
+// BeginBatch puts process p's replay cache into deferred-anchor mode: the
+// operations that follow keep a rolling anchor but write one durable
+// checkpoint for the whole batch, at EndBatch, instead of one per
+// operation. Must be paired with EndBatch under the same pid ownership
+// rules as Execute.
+func (o *Object) BeginBatch(p int) { o.cache[p].deferred = true }
+
+// EndBatch leaves deferred-anchor mode, re-anchoring process p's cache once
+// for the whole batch.
+func (o *Object) EndBatch(p int) {
+	pc := &o.cache[p]
+	pc.deferred = false
+	if pc.dirty {
+		pc.dirty = false
+		pc.state = spec.Checkpoint(o.sp, pc.state)
+		pc.anchors.Add(1)
+	}
 }
 
 // HistorySize returns the number of operations currently reachable in the
 // shared precedence graph, as observed by process p (for growth
-// measurements; one root scan).
+// measurements; one root scan). With GC enabled it reports the live nodes
+// past the truncation root — the truncated prefix survives only as the
+// root's checkpointed state.
 func (o *Object) HistorySize(p int) int {
-	return len(precgraph(o.root.Scan(p)).nodes)
+	view := o.root.Scan(p)
+	if o.gc != nil {
+		delta, _ := deltaNodes(o.gc.state.Load().cut, view)
+		return len(delta)
+	}
+	return len(precgraph(view).nodes)
 }
 
 // graph is a precedence/linearization graph over operation nodes.

@@ -263,7 +263,8 @@ func (o *PooledObject) Execute(ctx context.Context, invocation string) (string, 
 }
 
 // ExecuteMany leases one pid and performs the invocations in order as that
-// process, amortizing the lease over the whole slice. Each invocation is
+// process, amortizing the lease — and, via BeginBatch/EndBatch, the replay
+// cache's durable re-anchor — over the whole slice. Each invocation is
 // individually strongly linearizable; the batch as a whole is not atomic —
 // other processes' operations may linearize between consecutive invocations.
 // It stops at the first failing invocation (or at context cancellation
@@ -272,6 +273,8 @@ func (o *PooledObject) Execute(ctx context.Context, invocation string) (string, 
 func (o *PooledObject) ExecuteMany(ctx context.Context, invocations []string) ([]string, error) {
 	resps := make([]string, 0, len(invocations))
 	err := o.pids.With(ctx, func(pid int) error {
+		o.o.BeginBatch(pid)
+		defer o.o.EndBatch(pid)
 		for i, inv := range invocations {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("batch cancelled before invocation %d: %w", i, err)
@@ -285,6 +288,17 @@ func (o *PooledObject) ExecuteMany(ctx context.Context, invocations []string) ([
 		return nil
 	})
 	return resps, err
+}
+
+// GCStats leases a pid and returns the object's garbage-collection
+// progress; see Object.GCStats.
+func (o *PooledObject) GCStats(ctx context.Context) (ObjectGCStats, error) {
+	var stats ObjectGCStats
+	err := o.pids.With(ctx, func(pid int) error {
+		stats = o.o.GCStats(pid)
+		return nil
+	})
+	return stats, err
 }
 
 // Unpooled returns the underlying Object.

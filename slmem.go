@@ -213,8 +213,9 @@ type (
 
 // Object is a lock-free strongly linearizable implementation of a simple
 // type via the Aspnes–Herlihy universal construction over the strongly
-// linearizable snapshot. Note that the shared history grows with every
-// operation (the construction is wait-free but not bounded wait-free).
+// linearizable snapshot. By default the shared history grows with every
+// operation (the construction is wait-free but not bounded wait-free);
+// SetGC bounds it by low-watermark truncation.
 type Object struct {
 	inner *universal.Object
 }
@@ -239,12 +240,53 @@ func (o *Object) Execute(pid int, invocation string) (string, error) {
 // differential testing. Must not be called concurrently with Execute.
 func (o *Object) SetCaching(on bool) { o.inner.SetCaching(on) }
 
-// ObjectCacheStats counts replay-cache hits (delta replays) and misses
-// (full-history fallbacks) across an Object's processes.
+// ObjectCacheStats counts replay-cache hits (delta replays), misses
+// (full-history fallbacks), and durable re-anchors across an Object's
+// processes.
 type ObjectCacheStats = universal.CacheStats
 
 // CacheStats returns the replay-cache hit/miss counters.
 func (o *Object) CacheStats() ObjectCacheStats { return o.inner.CacheStats() }
+
+// ObjectGCOptions configures an Object's precedence-graph garbage
+// collection; see SetGC.
+type ObjectGCOptions = universal.GCOptions
+
+// ObjectGCStats describes an Object's garbage-collection progress; see
+// GCStats.
+type ObjectGCStats = universal.GCStats
+
+// DefaultObjectGCWindow is the per-process collection window SetGC uses
+// when ObjectGCOptions.Window is unset.
+const DefaultObjectGCWindow = universal.DefaultGCWindow
+
+// SetGC bounds the object's memory: completed operations below every
+// process's low watermark are folded into a checkpointed root state and
+// their history nodes reclaimed, preserving strong linearizability (the
+// truncated prefix is an exact prefix of every future linearization). Like
+// SetCaching it must not be called concurrently with Execute; unlike
+// caching it cannot be undone — calling SetGC again only retunes the
+// window. Note a process that stops executing pins collection at its last
+// watermark.
+func (o *Object) SetGC(opts ObjectGCOptions) { o.inner.SetGC(opts) }
+
+// GCEnabled reports whether SetGC has enabled history truncation.
+func (o *Object) GCEnabled() bool { return o.inner.GCEnabled() }
+
+// GCStats returns garbage-collection progress, reading as process pid
+// (same pid ownership rules as Execute). With GC disabled only LiveNodes
+// is populated, with the full history size.
+func (o *Object) GCStats(pid int) ObjectGCStats { return o.inner.GCStats(pid) }
+
+// BeginBatch enters deferred re-anchoring for process pid: until EndBatch,
+// Execute calls by pid update the replay cache without writing a durable
+// checkpoint, so a long single-process run re-anchors once instead of per
+// operation. Pair with EndBatch; same pid ownership rules as Execute.
+func (o *Object) BeginBatch(pid int) { o.inner.BeginBatch(pid) }
+
+// EndBatch leaves deferred re-anchoring for pid and writes the one durable
+// checkpoint covering the batch.
+func (o *Object) EndBatch(pid int) { o.inner.EndBatch(pid) }
 
 // ValidateSimple checks that the type's invocations pairwise commute or
 // overwrite (Definition 33) over the given invocation and pid samples.
