@@ -53,6 +53,11 @@ type perfProbe struct {
 	// RootVersion, when set, is the probed universal object's truncation
 	// root version when the probe ended.
 	RootVersion int64 `json:"root_version,omitempty"`
+	// GCFailures, when set, is the sum of the probed object's collector
+	// coverage and replay failure counters when the probe ended. Nonzero
+	// means the truncation protocol broke mid-probe (see Object.GCStats);
+	// the field is omitted in the healthy zero case.
+	GCFailures int64 `json:"gc_failures,omitempty"`
 }
 
 // perfDerived reports the batch-pipeline headline numbers computed from the
@@ -416,6 +421,7 @@ func emitJSONSummary(w io.Writer, probeTime time.Duration) error {
 				p.SpaceCells = st.LiveNodes
 				p.Truncations = st.Truncations
 				p.RootVersion = st.RootVersion
+				p.GCFailures = st.CoverageFailures + st.ReplayFailures
 			}
 			for _, pid := range pids {
 				pool.Release(pid)

@@ -22,14 +22,27 @@
 // at or above the current root: every live node covers the current root by
 // induction, and M only decreases toward views that themselves cover it.
 //
+// The fixpoint only examines nodes reachable from the collector's scan,
+// and the watermarks are read after that scan, so process q may have
+// published operations the scan cannot see. The freshness gate makes those
+// safe sight unseen: the pass proceeds only if each watermark's own index
+// W_q[q] is at most one past the scan's view of q, so every unseen node of
+// q has index at least W_q[q]. Operation W_q[q]'s view is W_q minus its
+// own component and M is pointwise at most W_q (M starts at the minimum
+// and is only lowered), so it covers M; per-process scans are pointwise
+// monotone and own indexes only grow, so by induction every later
+// operation of q — already published or still in the future — covers M
+// too. Without the gate, an operation that scanned a stale view and
+// published between the collector's scan and its watermark reads, its
+// process then raising the watermark past it with further operations,
+// would be examined by neither rule; committing a cut it does not cover
+// would wedge every subsequent extraction against the root.
+//
 // Why truncation at such an M preserves strong linearizability:
 //
-//   - Published nodes outside the prefix cover M by the fixpoint. Future
-//     nodes cover M too: a node of process q published after q's watermark
-//     W_q carries a view scanned after the operation that published W_q
-//     completed, scans are per-component monotone, so the view covers W_q,
-//     and M is pointwise at most every W_q by construction and only ever
-//     lowered from there.
+//   - Published nodes reachable from the scan and outside the prefix cover
+//     M by the fixpoint; unseen and future nodes cover M by the freshness
+//     gate argument above.
 //   - A covering node is forced after the whole prefix in every
 //     linearization: through the per-process chains its view reaches every
 //     prefix node, so precedence orders it after the prefix, and lingraph's
@@ -95,6 +108,17 @@ type GCStats struct {
 	// PendingTrims counts truncations whose boundary pointers are still
 	// awaiting quiescence before being cut.
 	PendingTrims int64
+	// CoverageFailures counts extractions that found a reachable node not
+	// covering the truncation root. The truncation invariant rules this
+	// out; a nonzero count means the invariant broke — Execute returns
+	// errors and LiveNodes may undercount — so the breakage is observable
+	// here instead of masked.
+	CoverageFailures int64
+	// ReplayFailures counts truncation passes abandoned because the
+	// truncated prefix failed to replay onto the checkpointed base. A
+	// persistent failure stops the root from ever advancing; this counter
+	// distinguishes that from normal non-advancement.
+	ReplayFailures int64
 }
 
 // gcState is one truncation root, published as a whole via one atomic
@@ -143,6 +167,8 @@ type gcInfo struct {
 	truncations atomic.Int64
 	truncated   atomic.Int64
 	trims       atomic.Int64
+	coverFails  atomic.Int64
+	replayFails atomic.Int64
 }
 
 // SetGC enables precedence-graph garbage collection. Like SetCaching it
@@ -179,13 +205,21 @@ func (o *Object) GCStats(p int) GCStats {
 	}
 	g := o.gc
 	gs := g.state.Load()
-	delta, _ := deltaNodes(gs.cut, o.root.Scan(p))
+	delta, ok := deltaNodes(gs.cut, o.root.Scan(p))
+	if !ok {
+		// A reachable node does not cover the root: the truncation
+		// invariant is broken and the extraction (hence LiveNodes) is
+		// partial. Count it so the breakage surfaces in the stats.
+		g.coverFails.Add(1)
+	}
 	return GCStats{
-		LiveNodes:      len(delta),
-		Truncations:    g.truncations.Load(),
-		TruncatedNodes: g.truncated.Load(),
-		RootVersion:    gs.version,
-		PendingTrims:   g.truncations.Load() - g.trims.Load(),
+		LiveNodes:        len(delta),
+		Truncations:      g.truncations.Load(),
+		TruncatedNodes:   g.truncated.Load(),
+		RootVersion:      gs.version,
+		PendingTrims:     g.truncations.Load() - g.trims.Load(),
+		CoverageFailures: g.coverFails.Load(),
+		ReplayFailures:   g.replayFails.Load(),
 	}
 }
 
@@ -227,11 +261,13 @@ func (o *Object) collect(view []*node) {
 	// anywhere, so nothing is safely below it.
 	minVer := int64(-1)
 	m := make([]int, o.n)
+	own := make([]int, o.n) // own[q]: q's last completed operation per its watermark
 	for q := range g.marks {
 		rec := g.marks[q].rec.Load()
 		if rec == nil {
 			return
 		}
+		own[q] = rec.anchor[q]
 		if minVer < 0 || rec.version < minVer {
 			minVer = rec.version
 		}
@@ -244,6 +280,25 @@ func (o *Object) collect(view []*node) {
 
 	// Cut boundary pointers of truncations every process has executed past.
 	g.trimQuiesced(minVer)
+
+	// Freshness gate: the watermarks were read after the scan, so process q
+	// may have completed operations the scan cannot see. Operations at or
+	// past own[q] are safe unseen — operation own[q]'s view is q's watermark
+	// anchor minus its own component, the cut never exceeds that anchor, and
+	// later scans of q are pointwise at least it — but an operation strictly
+	// between the scan's top of q and own[q] carries a view this pass never
+	// examines: it published after the scan and q's watermark already moved
+	// past it. Truncating across such a gap is unsound (the node may not
+	// cover the cut, wedging later extractions), so wait for a fresher scan.
+	for q, k := range own {
+		vi := -1
+		if view[q] != nil {
+			vi = view[q].index
+		}
+		if k > vi+1 {
+			return
+		}
+	}
 
 	// Clamp the candidate into [cur.cut, view]: monotone above the current
 	// root, and within what this scan reached — the watermarks were read
@@ -274,6 +329,7 @@ func (o *Object) collect(view []*node) {
 
 	delta, ok := deltaNodes(cur.cut, view)
 	if !ok {
+		g.coverFails.Add(1)
 		return // unreachable: every live node covers the current root
 	}
 
@@ -328,12 +384,17 @@ func (o *Object) collect(view []*node) {
 		}
 		next, _, err := o.sp.Apply(state, nd.pid, nd.invocation)
 		if err != nil {
-			return // replay failure: leave the graph untruncated
+			// Leave the graph untruncated, but observably: a persistent
+			// replay failure would otherwise disable GC forever while
+			// looking like normal non-advancement.
+			g.replayFails.Add(1)
+			return
 		}
 		state = next
 		count++
 	}
 	if count != prefixLen {
+		g.replayFails.Add(1)
 		return // unreachable: prefix-first order violated
 	}
 

@@ -277,6 +277,141 @@ func TestGCTruncationRules(t *testing.T) {
 	})
 }
 
+// TestGCScanWatermarkGap is the regression test for the scan-to-watermark
+// race: an operation that scanned a stale view publishes its node after the
+// collector's scan but before the collector reads the watermarks, and its
+// process raises its watermark past it with a further operation. The
+// covering fixpoint never examines the node (it is unreachable from the
+// collector's scan) and it is not a future node either (it published
+// before the reads) — without the freshness gate the collector commits a
+// cut the node does not cover, and every later extraction against the root
+// fails, wedging the object permanently.
+func TestGCScanWatermarkGap(t *testing.T) {
+	var alloc memory.NativeAllocator
+	o := New(&alloc, CounterType{}, 2)
+	o.SetGC(GCOptions{Window: 1 << 30}) // collect only when driven by hand
+	for i := 0; i < 4; i++ {
+		if _, err := o.Execute(0, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The collector's scan: p1 has published nothing yet.
+	view := o.root.Scan(0)
+
+	// p1's slow first operation: it scanned at time zero (empty view),
+	// stalled, and publishes only now — after the collector's scan.
+	slow := &node{invocation: "inc()", response: "1", pid: 1, index: 0, preceding: make([]*node, 2)}
+	o.root.Update(1, slow)
+	o.index[1] = 1
+	// p1 then completes a second operation with a fresh scan, raising its
+	// watermark past the slow node before the collector reads it.
+	if _, err := o.Execute(1, "inc()"); err != nil {
+		t.Fatal(err)
+	}
+	// p0's watermark predates p1 entirely, so the candidate cut leaves the
+	// slow node outside the prefix while truncating p0's operations — which
+	// the slow node's empty view does not cover.
+	g := o.gc
+	g.marks[0].rec.Store(&watermarkRec{anchor: []int{3, -1}, version: 0})
+
+	g.mu.Lock()
+	o.collect(view)
+	g.mu.Unlock()
+
+	if st := o.GCStats(0); st.Truncations != 0 {
+		t.Fatalf("collector committed a cut across the scan-to-watermark gap: %+v", st)
+	}
+	// The object must not be wedged: extraction still succeeds and the
+	// count reflects all six increments (slow one included).
+	if got, err := o.Execute(0, "read()"); err != nil || got != "6" {
+		t.Fatalf("read() after refused pass = %q, %v; want \"6\"", got, err)
+	}
+	// Liveness: a pass whose scan has caught up truncates normally.
+	if _, err := o.Execute(1, "inc()"); err != nil {
+		t.Fatal(err)
+	}
+	view = o.root.Scan(0)
+	g.mu.Lock()
+	o.collect(view)
+	g.mu.Unlock()
+	st := o.GCStats(0)
+	if st.Truncations != 1 || st.CoverageFailures != 0 || st.ReplayFailures != 0 {
+		t.Fatalf("fresh pass after the refused one did not truncate cleanly: %+v", st)
+	}
+	if got, err := o.Execute(0, "read()"); err != nil || got != "7" {
+		t.Fatalf("read() after truncation = %q, %v; want \"7\"", got, err)
+	}
+}
+
+// TestGCReplayFailureSurfaced pins the observability of an abandoned
+// truncation: a prefix that fails to replay onto the checkpointed base
+// leaves the graph untruncated, but the failure must show up in GCStats
+// rather than masquerade as normal non-advancement.
+func TestGCReplayFailureSurfaced(t *testing.T) {
+	var alloc memory.NativeAllocator
+	o := New(&alloc, CounterType{}, 2)
+	o.SetGC(GCOptions{Window: 1 << 30})
+	for i := 0; i < 3; i++ {
+		if _, err := o.Execute(0, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fabricated node whose invocation the spec rejects: any truncation
+	// prefix containing it fails to replay.
+	bogus := &node{invocation: "bogus()", pid: 1, index: 0, preceding: o.root.Scan(1)}
+	o.root.Update(1, bogus)
+	o.index[1] = 1
+	view := o.root.Scan(0)
+	g := o.gc
+	g.marks[0].rec.Store(&watermarkRec{anchor: []int{2, 0}, version: 0})
+	g.marks[1].rec.Store(&watermarkRec{anchor: []int{2, 0}, version: 0})
+	g.mu.Lock()
+	o.collect(view)
+	g.mu.Unlock()
+	st := o.GCStats(0)
+	if st.Truncations != 0 {
+		t.Fatalf("unreplayable prefix was truncated: %+v", st)
+	}
+	if st.ReplayFailures != 1 {
+		t.Fatalf("abandoned replay not surfaced: %+v", st)
+	}
+}
+
+// TestGCCoverageFailureSurfaced pins the observability of a broken
+// truncation invariant: if a reachable node does not cover the root,
+// Execute errors and both GCStats and HistorySize must count the failure
+// instead of silently under-reporting the live set.
+func TestGCCoverageFailureSurfaced(t *testing.T) {
+	var alloc memory.NativeAllocator
+	o := New(&alloc, CounterType{}, 2)
+	o.SetGC(GCOptions{Window: 4})
+	const ops = 64
+	for i := 0; i < ops; i++ {
+		if _, err := o.Execute(i%2, "inc()"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cut := o.gc.state.Load().cut; cut[0] < 0 && cut[1] < 0 {
+		t.Fatal("no truncation happened; the violation needs a non-trivial root")
+	}
+	// Fabricate the violation: a node above the cut whose view covers
+	// nothing.
+	bad := &node{invocation: "inc()", pid: 1, index: o.index[1], preceding: make([]*node, 2)}
+	o.root.Update(1, bad)
+	o.index[1]++
+
+	if _, err := o.Execute(0, "read()"); err == nil {
+		t.Fatal("Execute succeeded against a node that does not cover the root")
+	}
+	st := o.GCStats(0)
+	if st.CoverageFailures == 0 {
+		t.Fatalf("broken truncation invariant not surfaced: %+v", st)
+	}
+	if o.HistorySize(0) == 0 {
+		t.Error("partial extraction reported zero live nodes")
+	}
+}
+
 // TestGCStaleAnchorFallback is the GC/replay-cache interaction contract: a
 // cache anchor stranded below the truncation root (e.g. after a caching
 // toggle across truncations) must fall back to the checkpointed root —

@@ -256,6 +256,7 @@ func (o *Object) Execute(p int, invoke string) (string, error) {
 		}
 		delta, ok = deltaNodes(anchor, view)
 		if !ok {
+			o.gc.coverFails.Add(1)
 			return "", fmt.Errorf("universal: extracted node does not cover truncation root v%d", gs.version)
 		}
 	case !ok:
@@ -265,6 +266,7 @@ func (o *Object) Execute(p int, invoke string) (string, error) {
 		ver := int64(-1)
 		if gs != nil {
 			ver = gs.version
+			o.gc.coverFails.Add(1)
 		}
 		return "", fmt.Errorf("universal: extracted node does not cover truncation root v%d", ver)
 	case fromCache:
@@ -386,7 +388,12 @@ func (o *Object) EndBatch(p int) {
 func (o *Object) HistorySize(p int) int {
 	view := o.root.Scan(p)
 	if o.gc != nil {
-		delta, _ := deltaNodes(o.gc.state.Load().cut, view)
+		delta, ok := deltaNodes(o.gc.state.Load().cut, view)
+		if !ok {
+			// Broken truncation invariant: the count is partial; surface it
+			// through the stats counter rather than silently under-report.
+			o.gc.coverFails.Add(1)
+		}
 		return len(delta)
 	}
 	return len(precgraph(view).nodes)
@@ -501,7 +508,9 @@ func covers(view []*node, anchor []int) bool {
 // not already in the anchored prefix (a nil anchor extracts everything —
 // the original algorithm). It reports ok=false when some extracted node does
 // not cover the anchor; such a node may linearize inside the anchored
-// prefix, so the caller must re-extract with a nil anchor.
+// prefix, so the caller must re-extract with a nil anchor. On failure the
+// nodes extracted so far are still returned (unsorted) so counting callers
+// can report a partial size instead of zero.
 func deltaNodes(anchor []int, view []*node) (nodes []*node, ok bool) {
 	visited := make(map[*node]bool)
 	var queue []*node
@@ -519,7 +528,7 @@ func deltaNodes(anchor []int, view []*node) (nodes []*node, ok bool) {
 		queue = queue[1:]
 		nodes = append(nodes, nd)
 		if anchor != nil && !covers(nd.preceding, anchor) {
-			return nil, false
+			return nodes, false
 		}
 		for _, prev := range nd.preceding {
 			push(prev)
